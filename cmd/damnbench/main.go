@@ -1,0 +1,113 @@
+// Command damnbench regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated testbed and prints them as text tables.
+//
+// Usage:
+//
+//	damnbench [-quick] [-seed N] [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11]
+//
+// The default full-fidelity run takes a few minutes; -quick shrinks the
+// measurement windows for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/asplos18/damn/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "short measurement windows")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	type job struct {
+		name string
+		run  func() (string, error)
+	}
+	jobs := []job{
+		{"table1", func() (string, error) {
+			rows, err := experiments.Table1(opts)
+			return experiments.RenderTable1(rows), err
+		}},
+		{"fig4", func() (string, error) {
+			rows, err := experiments.Fig4(opts)
+			return experiments.RenderFig4(rows), err
+		}},
+		{"fig5", func() (string, error) {
+			rows, err := experiments.Fig5(opts)
+			return experiments.RenderFig5(rows), err
+		}},
+		{"fig6", func() (string, error) {
+			rows, err := experiments.Fig6(opts)
+			return experiments.RenderFig6(rows), err
+		}},
+		{"table3", func() (string, error) {
+			rows, err := experiments.Table3(opts)
+			return experiments.RenderTable3(rows), err
+		}},
+		{"fig2", func() (string, error) {
+			rows, err := experiments.Fig2(opts)
+			return experiments.RenderFig2(rows), err
+		}},
+		{"fig7", func() (string, error) {
+			rows, err := experiments.Fig7(opts)
+			return experiments.RenderFig7(rows), err
+		}},
+		{"fig8", func() (string, error) {
+			rows, err := experiments.Fig8(opts)
+			return experiments.RenderFig8(rows), err
+		}},
+		{"fig9", func() (string, error) {
+			rows, err := experiments.Fig9(opts)
+			return experiments.RenderFig9(rows), err
+		}},
+		{"fig10", func() (string, error) {
+			rows, err := experiments.Fig10(opts)
+			return experiments.RenderFig10(rows), err
+		}},
+		{"fig11", func() (string, error) {
+			rows, err := experiments.Fig11(opts)
+			return experiments.RenderFig11(rows), err
+		}},
+		{"ablations", func() (string, error) {
+			rows, err := experiments.Ablations(opts)
+			return experiments.RenderAblations(rows), err
+		}},
+		{"footnote5", func() (string, error) {
+			rows, err := experiments.Footnote5(opts)
+			return experiments.RenderFootnote5(rows), err
+		}},
+	}
+
+	ran := 0
+	for _, j := range jobs {
+		if !all && !want[j.name] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		out, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", j.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("(%s computed in %.1fs)\n\n", j.name, time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,90 @@
+package damn_test
+
+import (
+	"testing"
+
+	damn "github.com/asplos18/damn"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	m, err := damn.NewMachine(damn.Config{Scheme: damn.SchemeDAMN, MemBytes: 128 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := m.AllocPacketBuffer(damn.RightsWrite, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The NIC can write it through its DMA address.
+	attacker := m.Attacker() // same device identity
+	if err := attacker.TryWrite(buf.DMAAddr, []byte("packet")); err != nil {
+		t.Fatalf("legitimate DMA failed: %v", err)
+	}
+	if string(buf.Bytes()[:6]) != "packet" {
+		t.Fatal("DMA write not visible")
+	}
+	if err := buf.Free(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIIsolation(t *testing.T) {
+	for _, scheme := range []damn.Scheme{damn.SchemeStrict, damn.SchemeShadow, damn.SchemeDAMN} {
+		m, err := damn.NewMachine(damn.Config{Scheme: scheme, MemBytes: 128 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A kernel secret the device was never given.
+		secret, err := m.Testbed().Slab.Alloc(64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Testbed().Mem.Write(secret, []byte("super secret"))
+		if _, err := m.Attacker().TryRead(0x1000, 16); err == nil {
+			t.Errorf("%s: arbitrary low-memory read should fault", scheme)
+		}
+	}
+}
+
+func TestPublicAPIAllSchemesConstruct(t *testing.T) {
+	for _, scheme := range append(damn.AllSchemes,
+		damn.SchemeDAMNHugeDense, damn.SchemeDAMNNoIOMMU) {
+		m, err := damn.NewMachine(damn.Config{Scheme: scheme, MemBytes: 64 << 20, Cores: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if m.Scheme() != scheme {
+			t.Fatalf("scheme mismatch: %s", m.Scheme())
+		}
+		buf, err := m.AllocPacketBuffer(damn.RightsRead, 1500)
+		if err != nil {
+			t.Fatalf("%s: alloc: %v", scheme, err)
+		}
+		if err := buf.Free(); err != nil {
+			t.Fatalf("%s: free: %v", scheme, err)
+		}
+	}
+}
+
+func TestPublicAPIDamnAllocatorExposed(t *testing.T) {
+	m, _ := damn.NewMachine(damn.Config{Scheme: damn.SchemeDAMN, MemBytes: 64 << 20, Cores: 2})
+	if m.DamnAllocator() == nil {
+		t.Fatal("DAMN machine should expose the allocator")
+	}
+	m2, _ := damn.NewMachine(damn.Config{Scheme: damn.SchemeDeferred, MemBytes: 64 << 20, Cores: 2})
+	if m2.DamnAllocator() != nil {
+		t.Fatal("baseline machine should not expose an allocator")
+	}
+}
+
+func TestPublicAPISKB(t *testing.T) {
+	m, _ := damn.NewMachine(damn.Config{Scheme: damn.SchemeDAMN, MemBytes: 64 << 20, Cores: 2})
+	skb, err := m.NewSKB(4096, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !skb.DamnOwned() {
+		t.Fatal("RX skb on a DAMN machine should be DAMN-owned")
+	}
+	skb.Free(nil)
+}

@@ -1,0 +1,68 @@
+package damn_test
+
+import (
+	"fmt"
+	"log"
+
+	damn "github.com/asplos18/damn"
+)
+
+// Example shows the core DAMN flow: allocate a permanently-mapped packet
+// buffer, let the NIC DMA into it, and observe that freeing performs no
+// IOMMU work at all.
+func Example() {
+	m, err := damn.NewMachine(damn.Config{Scheme: damn.SchemeDAMN, MemBytes: 128 << 20, Cores: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf, err := m.AllocPacketBuffer(damn.RightsWrite, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The NIC writes a packet through its permanent mapping.
+	if err := m.Attacker().TryWrite(buf.DMAAddr, []byte("packet")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel reads: %s\n", buf.Bytes()[:6])
+
+	unmapsBefore := m.Testbed().IOMMU.Unmappings
+	if err := buf.Free(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IOMMU unmaps performed by free: %d\n", m.Testbed().IOMMU.Unmappings-unmapsBefore)
+	// Output:
+	// kernel reads: packet
+	// IOMMU unmaps performed by free: 0
+}
+
+// ExampleMachine_Attacker demonstrates the protection: the device identity
+// that owns packet buffers still cannot reach anything else.
+func ExampleMachine_Attacker() {
+	m, err := damn.NewMachine(damn.Config{Scheme: damn.SchemeDAMN, MemBytes: 128 << 20, Cores: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Attacker().TryRead(0x2000, 64); err != nil {
+		fmt.Println("arbitrary DMA read: blocked")
+	}
+	// Output:
+	// arbitrary DMA read: blocked
+}
+
+// ExampleNewMachine_schemes builds one machine per evaluated protection
+// configuration.
+func ExampleNewMachine_schemes() {
+	for _, scheme := range damn.AllSchemes {
+		m, err := damn.NewMachine(damn.Config{Scheme: scheme, MemBytes: 64 << 20, Cores: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: damn-deployed=%v\n", m.Scheme(), m.DamnAllocator() != nil)
+	}
+	// Output:
+	// iommu-off: damn-deployed=false
+	// deferred: damn-deployed=false
+	// strict: damn-deployed=false
+	// shadow: damn-deployed=false
+	// damn: damn-deployed=true
+}

@@ -1,0 +1,75 @@
+// Attack example: a compromised NIC mounts the paper's TOCTTOU attack
+// (§4.1/§5.2) against deferred protection and against DAMN, showing the
+// window in the former and the accessor copy defeating it in the latter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	damn "github.com/asplos18/damn"
+	"github.com/asplos18/damn/internal/dmaapi"
+	"github.com/asplos18/damn/internal/netstack"
+	"github.com/asplos18/damn/internal/testbed"
+)
+
+func main() {
+	fmt.Println("TOCTTOU: firewall inspects a header; the NIC rewrites it afterwards")
+	fmt.Println()
+
+	packet := []byte("SRC=10.0.0.1 ACCEPT")
+	evil := []byte("SRC=66.6.6.66 EVIL!")
+
+	// --- Deferred (Linux default): the attack lands. ---
+	{
+		m, err := damn.NewMachine(damn.Config{Scheme: damn.SchemeDeferred, MemBytes: 128 << 20, Cores: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb := m.Testbed()
+		skb, err := netstack.AllocSKB(tb.Kernel, nil, testbed.NICDeviceID, 2048, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, err := skb.MapForDevice(nil, dmaapi.FromDevice)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.IOMMU.DMAWrite(testbed.NICDeviceID, v, packet)
+		skb.SetReceived(len(packet), len(packet))
+		skb.UnmapForDevice(nil, dmaapi.FromDevice) // deferred: IOTLB stays stale
+
+		hdr, _ := skb.Access(nil, len(packet))
+		fmt.Printf("[deferred] firewall sees : %q -> ACCEPT\n", hdr)
+		m.Attacker().TOCTTOUFlip(v, evil, 1)
+		hdr2, _ := skb.Access(nil, len(packet))
+		fmt.Printf("[deferred] kernel now has: %q  <-- ATTACK LANDED in the invalidation window\n\n", hdr2)
+	}
+
+	// --- DAMN: the buffer stays device-writable by design, but the
+	// accessed bytes were copied out of reach. ---
+	{
+		m, err := damn.NewMachine(damn.Config{Scheme: damn.SchemeDAMN, MemBytes: 128 << 20, Cores: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb := m.Testbed()
+		skb, err := netstack.DmaAllocSKB(tb.Kernel, nil, testbed.NICDeviceID, 2048, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		v, _ := tb.Damn.IOVAOf(skb.HeadPA())
+		tb.IOMMU.DMAWrite(testbed.NICDeviceID, v, packet)
+		skb.SetReceived(len(packet), len(packet))
+
+		hdr, _ := skb.Access(nil, len(packet))
+		fmt.Printf("[damn]     firewall sees : %q -> ACCEPT (header copied on access, §5.2)\n", hdr)
+		if err := m.Attacker().TryWrite(v, evil); err != nil {
+			log.Fatal("unexpected: DAMN RX buffers are device-writable by design")
+		}
+		hdr2, _ := skb.Access(nil, len(packet))
+		fmt.Printf("[damn]     kernel still  : %q  <-- attack had no effect on inspected bytes\n", hdr2)
+		fmt.Printf("[damn]     raw buffer now: %q (writable, but the OS never re-reads it)\n",
+			tb.Mem.Bytes(skb.HeadPA(), len(packet)))
+	}
+}

@@ -1,0 +1,35 @@
+// Memcached example: the Fig 7 key-value workload — 28 memcached
+// instances, 50/50 GET/SET with 512 KiB values — across all protection
+// schemes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	damn "github.com/asplos18/damn"
+	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/workloads"
+)
+
+func main() {
+	fmt.Println("memcached + memslap (28 instances, 50/50 GET/SET, 512 KiB values)")
+	fmt.Println()
+	fmt.Printf("%-12s %10s %8s\n", "scheme", "TPS", "CPU")
+	for _, scheme := range damn.AllSchemes {
+		m, err := damn.NewMachine(damn.Config{Scheme: scheme, MemBytes: 1 << 30})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := workloads.RunMemcached(workloads.MemcachedConfig{
+			Machine:  m.Testbed(),
+			Warmup:   15 * sim.Millisecond,
+			Duration: 45 * sim.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %10.0f %7.1f%%\n", scheme, res.TPS, res.CPUUtil*100)
+	}
+	fmt.Println("\n(expect: strict at ≈half TPS with a CPU spike; shadow at ≈1.6–1.8× damn's CPU)")
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a DAMN-protected machine, allocate device-visible
+// packet buffers, watch the permanent IOMMU mapping work, and see a
+// malicious device bounce off it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	damn "github.com/asplos18/damn"
+	"github.com/asplos18/damn/internal/iova"
+)
+
+func main() {
+	m, err := damn.NewMachine(damn.Config{Scheme: damn.SchemeDAMN, MemBytes: 256 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine up: scheme=%s\n\n", m.Scheme())
+
+	// 1. Allocate an RX packet buffer: damn_alloc + dma_map.
+	buf, err := m.AllocPacketBuffer(damn.RightsWrite, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("damn_alloc(dev=NIC, rights=w, 2048):\n")
+	fmt.Printf("  kernel address : %#x\n", buf.Addr)
+	fmt.Printf("  DMA address    : %#x (bit 47 set: DAMN partition)\n", buf.DMAAddr)
+	if e, ok := iova.Decode(buf.DMAAddr); ok {
+		fmt.Printf("  encoded fields : cpu=%d rights=%s dev=%d offset=%#x (Figure 3)\n\n",
+			e.CPU, e.Rights, e.Dev, e.Offset)
+	}
+
+	// 2. The NIC deposits a packet through the permanent mapping.
+	nic := m.Attacker() // same hardware identity as the NIC
+	if err := nic.TryWrite(buf.DMAAddr, []byte("hello through the IOMMU")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NIC DMA write landed; kernel reads: %q\n\n", buf.Bytes()[:23])
+
+	// 3. The same device turning malicious gets nothing else.
+	secretPA, err := m.Testbed().Slab.Alloc(64, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.Testbed().Mem.Write(secretPA, []byte("TOP-SECRET"))
+	if _, err := nic.TryRead(0x1000, 64); err != nil {
+		fmt.Printf("malicious read of unmapped memory: BLOCKED (%v)\n", err)
+	}
+	found, readable := nic.ScanForSecret(buf.DMAAddr&^0xFFFFF, (buf.DMAAddr&^0xFFFFF)+1<<21, []byte("TOP-SECRET"))
+	fmt.Printf("scan of the device-visible region: %d pages readable, secret found %d times\n\n",
+		readable, len(found))
+
+	// 4. Free: no unmapping, no IOTLB invalidation — the whole point.
+	tb := m.Testbed()
+	unmapsBefore := tb.IOMMU.Unmappings
+	if err := buf.Free(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("damn_free: IOMMU unmap operations performed = %d (permanently mapped)\n",
+		tb.IOMMU.Unmappings-unmapsBefore)
+	fmt.Printf("allocator footprint: %d KiB (chunk recycled in the DMA cache)\n",
+		tb.Damn.FootprintBytes()>>10)
+}

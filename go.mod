@@ -1,0 +1,3 @@
+module github.com/asplos18/damn
+
+go 1.24

@@ -1,0 +1,37 @@
+package damn
+
+import (
+	"github.com/asplos18/damn/internal/dmaapi"
+	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/iova"
+	"github.com/asplos18/damn/internal/mem"
+	"github.com/asplos18/damn/internal/perf"
+)
+
+// Interposer adapts DAMN to the DMA API hook (§5.3): drivers keep calling
+// dma_map/dma_unmap unmodified; for DAMN-allocated buffers the calls
+// short-circuit (the mapping is permanent), and everything else falls back
+// to the configured legacy scheme.
+type Interposer struct {
+	D *DAMN
+}
+
+var _ dmaapi.Interposer = (*Interposer)(nil)
+
+// MapHook checks whether pa lies in a DAMN buffer (the §5.5 page-struct
+// test) and, if so, returns its long-lived IOVA.
+func (ip *Interposer) MapHook(c perf.Charger, dev int, pa mem.PhysAddr, size int, dir dmaapi.Direction) (iommu.IOVA, bool) {
+	ch := ip.D.chunkOf(pa)
+	if ch == nil {
+		return 0, false
+	}
+	perf.Charge(c, ip.D.model.DamnMapLookupCycles)
+	return ch.iova + iommu.IOVA(pa-ch.pa), true
+}
+
+// UnmapHook performs the MSB test of §5.3: DAMN-partition IOVAs need no
+// teardown (the buffer will be freed later through damn_free).
+func (ip *Interposer) UnmapHook(c perf.Charger, dev int, v iommu.IOVA, size int, dir dmaapi.Direction) bool {
+	perf.Charge(c, ip.D.model.DamnUnmapCheckCycles)
+	return iova.IsDAMN(v)
+}

@@ -1,0 +1,79 @@
+package damn
+
+import (
+	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/iova"
+)
+
+// Shrink implements the OS shrinker interface the paper describes (§5.4
+// "Responding to OS memory pressure"): under memory pressure, DAMN releases
+// chunks that sit unused in magazines and the depot back to the page
+// allocator. Such chunks contain no live buffers, so releasing them is
+// safe; their IOMMU mappings are destroyed (and the IOTLB invalidated —
+// otherwise the device could keep writing into pages the kernel reuses) and
+// their identity-region IOVA slots are recycled.
+//
+// Chunks carved from dense huge superblocks are skipped: their 2 MiB
+// mapping is shared with sibling chunks.
+//
+// Returns the number of pages released to the system.
+func (d *DAMN) Shrink(x Ctx) int64 {
+	d.mu.Lock()
+	caches := make([]*dmaCache, 0, len(d.caches))
+	for _, c := range d.caches {
+		caches = append(caches, c)
+	}
+	d.mu.Unlock()
+
+	var released int64
+	for _, c := range caches {
+		var victims []*chunk
+		// Depot first: those chunks are coldest.
+		victims = append(victims, c.depot.drainFull()...)
+		// Then the per-core magazines.
+		for cpu := range c.perCPU {
+			for ctx := 0; ctx < 2; ctx++ {
+				cc := c.perCPU[cpu][ctx]
+				for _, m := range []*magazine{cc.loaded, cc.previous} {
+					if m == nil {
+						continue
+					}
+					victims = append(victims, m.chunks...)
+					m.chunks = m.chunks[:0]
+				}
+			}
+		}
+		for _, ch := range victims {
+			if ch.huge {
+				// Cannot unmap a shared huge mapping; keep the
+				// chunk cached instead.
+				c.putChunk(x, ch)
+				continue
+			}
+			released += d.releaseChunk(c, ch)
+		}
+	}
+	return released
+}
+
+// releaseChunk tears one chunk down completely.
+func (d *DAMN) releaseChunk(c *dmaCache, ch *chunk) int64 {
+	// Revoke device access *before* the pages go back to the kernel.
+	if err := d.iommu.Unmap(c.key.dev, ch.iova, d.ChunkBytes()); err != nil {
+		panic("damn: shrinker unmap failed: " + err.Error())
+	}
+	d.iommu.InvQ().Submit(iommu.Command{Kind: iommu.InvRange, Dev: c.key.dev, Base: ch.iova, Size: d.ChunkBytes()})
+	d.iommu.InvQ().Drain()
+	// Recycle the identity-region IOVA slot.
+	if e, ok := iova.Decode(ch.iova); ok && !ch.huge {
+		d.mu.Lock()
+		if r := d.regions[identKey{cpu: e.CPU, rights: e.Rights, dev: e.Dev}]; r != nil {
+			r.release(e.Offset)
+		}
+		d.mu.Unlock()
+	}
+	d.unregisterChunk(ch)
+	order := log2(d.cfg.ChunkPages)
+	d.mem.FreePages(ch.head, order)
+	return int64(d.cfg.ChunkPages)
+}

@@ -1,0 +1,68 @@
+package device
+
+import (
+	"bytes"
+
+	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/mem"
+)
+
+// Malicious is the attacker of §2.1: a compromised DMA-capable device (in
+// the paper's scenarios, the NIC itself) that issues DMAs the OS never
+// asked for. It can only do what the IOMMU lets it — which is the entire
+// point of the evaluation's security claims.
+type Malicious struct {
+	u *iommu.IOMMU
+	// Dev is the hardware identity the attacker DMAs as. The attack
+	// model assumes DMAs cannot be spoofed (§2.1), so a compromised NIC
+	// attacks with the NIC's own identity.
+	Dev int
+}
+
+// NewMalicious wraps a device identity with attack helpers.
+func NewMalicious(u *iommu.IOMMU, dev int) *Malicious { return &Malicious{u: u, Dev: dev} }
+
+// TryRead attempts a DMA read of n bytes at the given IOVA.
+func (m *Malicious) TryRead(v iommu.IOVA, n int) ([]byte, error) {
+	buf := make([]byte, n)
+	got, err := m.u.DMARead(m.Dev, v, buf)
+	return buf[:got], err
+}
+
+// TryWrite attempts a DMA write.
+func (m *Malicious) TryWrite(v iommu.IOVA, data []byte) error {
+	_, err := m.u.DMAWrite(m.Dev, v, data)
+	return err
+}
+
+// ScanForSecret sweeps the IOVA range [lo, hi) page by page, reading
+// whatever translates, and reports the IOVAs where the pattern was found —
+// the "steal secret data" attack of the introduction. The number of
+// successful reads is returned too, as a measure of exposed surface.
+func (m *Malicious) ScanForSecret(lo, hi iommu.IOVA, pattern []byte) (found []iommu.IOVA, readable int) {
+	buf := make([]byte, mem.PageSize)
+	for v := lo; v < hi; v += mem.PageSize {
+		n, err := m.u.DMARead(m.Dev, v, buf)
+		if err != nil || n == 0 {
+			continue
+		}
+		readable++
+		if bytes.Contains(buf[:n], pattern) {
+			found = append(found, v)
+		}
+	}
+	return found, readable
+}
+
+// TOCTTOUFlip repeatedly attempts to overwrite [v, v+len(evil)) — the
+// "modify a packet after it passes firewall checks" attack (§4.1). It
+// returns true if any write landed.
+func (m *Malicious) TOCTTOUFlip(v iommu.IOVA, evil []byte, attempts int) bool {
+	landed := false
+	for i := 0; i < attempts; i++ {
+		if _, err := m.u.DMAWrite(m.Dev, v, evil); err == nil {
+			landed = true
+		}
+	}
+	return landed
+}

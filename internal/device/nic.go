@@ -1,0 +1,341 @@
+// Package device models the DMA-capable hardware of the evaluation testbed:
+// a dual-port 100 Gb/s NIC with per-core descriptor rings (the ConnectX-4
+// analogue), an NVMe SSD (Fig 11), and a malicious device that mounts the
+// DMA attacks of §2.1/§4.1.
+//
+// Every device access to memory goes through iommu.DMARead/DMAWrite — the
+// devices address memory by IOVA only, so whatever protection scheme is
+// active genuinely constrains them.
+package device
+
+import (
+	"fmt"
+
+	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/perf"
+	"github.com/asplos18/damn/internal/sim"
+)
+
+// RXDesc is one posted receive buffer: where the NIC may deposit an
+// incoming segment.
+type RXDesc struct {
+	IOVA iommu.IOVA
+	Size int
+	// Cookie carries the driver's per-buffer state through the ring.
+	Cookie any
+}
+
+// TXDesc is one transmit request.
+type TXDesc struct {
+	IOVA   iommu.IOVA
+	Size   int
+	Cookie any
+}
+
+// Segment is a unit of wire traffic after LRO aggregation (RX) or before
+// TSO segmentation happens in hardware (TX): up to 64 KiB of TCP payload
+// plus a header blob.
+type Segment struct {
+	Flow   int
+	Len    int    // total bytes on the wire (headers + payload)
+	Header []byte // bytes the NIC actually materialises in memory
+	// WritePayload: materialise the whole payload in memory (security
+	// tests); otherwise only the header bytes are written and the rest
+	// of the buffer is left as allocated (throughput runs, where moving
+	// gigabytes through host RAM would only slow the simulation).
+	WritePayload bool
+	Payload      []byte // used when WritePayload
+}
+
+// RXCompletion is handed to the driver's interrupt handler.
+type RXCompletion struct {
+	Desc    RXDesc
+	Seg     Segment
+	Written int // bytes the device wrote into the buffer
+}
+
+// NICConfig sizes the NIC model.
+type NICConfig struct {
+	ID       int // device index (IOMMU identity)
+	Ports    int
+	RingSize int // RX descriptors per ring
+	TxRing   int // TX descriptors per ring
+	Rings    int // one per core
+	// WireGbps is the per-port, per-direction rate.
+	WireGbps float64
+	// PCIeGbps bounds aggregate DMA per direction.
+	PCIeGbps float64
+}
+
+// NIC is the network card model.
+type NIC struct {
+	Cfg   NICConfig
+	se    *sim.Engine
+	u     *iommu.IOMMU
+	model *perf.Model
+	membw *sim.MemController
+	cores []*sim.Core
+
+	// Per-port, per-direction wire pacing.
+	rxWire []*sim.FluidResource
+	txWire []*sim.FluidResource
+	// PCIe per direction, plus the aggregate bus ceiling.
+	pcieRX  *sim.FluidResource
+	pcieTX  *sim.FluidResource
+	pcieAgg *sim.FluidResource
+	// walker is the IOMMU page-walk unit: IOTLB misses from both
+	// directions serialize here (Table 3's bottleneck for DAMN's
+	// scattered IOVAs).
+	walker *sim.FluidResource
+
+	rings []*rxRing
+	txqs  []*txRing
+
+	rxHandler func(t *sim.Task, ring int, comps []RXCompletion)
+	txHandler func(t *sim.Task, ring int, descs []TXDesc)
+
+	// Stats.
+	RxSegments uint64
+	RxBytes    uint64
+	TxSegments uint64
+	TxBytes    uint64
+	RxBlocked  uint64 // segments whose DMA faulted
+	RxStalls   uint64 // segments parked because the ring was empty
+}
+
+type rxRing struct {
+	descs   []RXDesc
+	pending []Segment // flow-controlled backlog waiting for buffers
+}
+
+type txRing struct {
+	inFlight int
+}
+
+// NewNIC attaches a NIC to the machine. cores maps ring index to the core
+// whose interrupt handler serves it; membw may be nil.
+func NewNIC(se *sim.Engine, u *iommu.IOMMU, model *perf.Model, membw *sim.MemController, cores []*sim.Core, cfg NICConfig) *NIC {
+	if cfg.Ports <= 0 {
+		cfg.Ports = 1
+	}
+	if cfg.Rings <= 0 {
+		cfg.Rings = len(cores)
+	}
+	n := &NIC{Cfg: cfg, se: se, u: u, model: model, membw: membw, cores: cores}
+	bytesPerSec := cfg.WireGbps * 1e9 / 8
+	for p := 0; p < cfg.Ports; p++ {
+		n.rxWire = append(n.rxWire, sim.NewFluidResource(fmt.Sprintf("nic%d-port%d-rx", cfg.ID, p), bytesPerSec))
+		n.txWire = append(n.txWire, sim.NewFluidResource(fmt.Sprintf("nic%d-port%d-tx", cfg.ID, p), bytesPerSec))
+	}
+	pcieBytes := cfg.PCIeGbps * 1e9 / 8
+	n.pcieRX = sim.NewFluidResource("pcie-rx", pcieBytes)
+	n.pcieTX = sim.NewFluidResource("pcie-tx", pcieBytes)
+	aggGbps := model.PCIeAggGbps
+	if aggGbps <= 0 {
+		aggGbps = 2 * cfg.PCIeGbps
+	}
+	n.pcieAgg = sim.NewFluidResource("pcie-agg", aggGbps*1e9/8)
+	if model.IOTLBMissPenalty > 0 {
+		n.walker = sim.NewFluidResource("iommu-walker", 1.0/model.IOTLBMissPenalty.Seconds())
+	}
+	for r := 0; r < cfg.Rings; r++ {
+		n.rings = append(n.rings, &rxRing{})
+		n.txqs = append(n.txqs, &txRing{})
+	}
+	return n
+}
+
+// ID returns the NIC's device index.
+func (n *NIC) ID() int { return n.Cfg.ID }
+
+// OnRX registers the driver's receive interrupt handler.
+func (n *NIC) OnRX(h func(t *sim.Task, ring int, comps []RXCompletion)) { n.rxHandler = h }
+
+// OnTXComplete registers the driver's transmit-completion handler.
+func (n *NIC) OnTXComplete(h func(t *sim.Task, ring int, descs []TXDesc)) { n.txHandler = h }
+
+// PostRX adds receive buffers to a ring (driver side). Parked segments are
+// delivered immediately if buffers were the bottleneck.
+func (n *NIC) PostRX(ring int, descs ...RXDesc) error {
+	r := n.rings[ring]
+	if len(r.descs)+len(descs) > n.Cfg.RingSize {
+		return fmt.Errorf("device: RX ring %d overflow", ring)
+	}
+	r.descs = append(r.descs, descs...)
+	for len(r.pending) > 0 && len(r.descs) > 0 {
+		seg := r.pending[0]
+		r.pending = r.pending[1:]
+		n.deliver(ring, seg)
+	}
+	return nil
+}
+
+// RXPosted reports the number of free posted buffers in a ring.
+func (n *NIC) RXPosted(ring int) int { return len(n.rings[ring].descs) }
+
+// RXParked reports segments held by flow control because the ring had no
+// buffers — the congestion signal a paused sender sees.
+func (n *NIC) RXParked(ring int) int { return len(n.rings[ring].pending) }
+
+// WireRXBacklog returns how far a port's inbound wire has fallen behind —
+// the generator's pacing signal.
+func (n *NIC) WireRXBacklog(port int) sim.Time { return n.rxWire[port].Backlog(n.se.Now()) }
+
+// WireTXBacklog is the outbound equivalent.
+func (n *NIC) WireTXBacklog(port int) sim.Time { return n.txWire[port].Backlog(n.se.Now()) }
+
+// InjectRX simulates a segment arriving on a port, destined for a ring
+// (steered there by RSS). The wire, PCIe and memory-bandwidth resources
+// pace the DMA; the payload lands through the IOMMU; then the ring's core
+// takes an interrupt.
+func (n *NIC) InjectRX(port, ring int, seg Segment) {
+	wireDone := n.rxWire[port].Reserve(n.se.Now(), float64(seg.Len))
+	n.se.At(wireDone, func() { n.tryDeliver(ring, seg) })
+}
+
+func (n *NIC) tryDeliver(ring int, seg Segment) {
+	r := n.rings[ring]
+	if len(r.descs) == 0 {
+		// Lossless flow control (§6.1: "Ethernet flow control on"):
+		// park until the driver posts buffers.
+		r.pending = append(r.pending, seg)
+		n.RxStalls++
+		return
+	}
+	n.deliver(ring, seg)
+}
+
+// deliver performs the DMA and raises the interrupt.
+func (n *NIC) deliver(ring int, seg Segment) {
+	r := n.rings[ring]
+	desc := r.descs[0]
+	r.descs = r.descs[1:]
+
+	now := n.se.Now()
+	done := n.pcieRX.Reserve(now, float64(seg.Len))
+	if a := n.pcieAgg.Reserve(now, float64(seg.Len)); a > done {
+		done = a
+	}
+	if m := perf.DeviceDMATraffic(n.membw, now, seg.Len, n.model.NICDMAMemFraction); m > done {
+		done = m
+	}
+
+	// The actual DMA, translated by the IOMMU. The transfer touches every
+	// 4 KiB page of the segment; each IOTLB miss is a page walk that
+	// occupies the DMA pipeline (Table 3's effect).
+	missesBefore := n.u.TLB().Misses
+	written, err := n.dmaWriteSegment(desc, seg)
+	n.touchTranslations(desc.IOVA, seg.Len, true)
+	misses := n.u.TLB().Misses - missesBefore
+	if misses > 0 && n.walker != nil {
+		if d2 := n.walker.Reserve(now, float64(misses)); d2 > done {
+			done = d2
+		}
+	}
+
+	if err != nil {
+		// Blocked by the IOMMU: the segment is lost to the device; the
+		// buffer is still returned to the driver with 0 bytes (model of
+		// a DMA fault + driver error handling).
+		n.RxBlocked++
+	}
+	n.RxSegments++
+	n.RxBytes += uint64(seg.Len)
+
+	comp := RXCompletion{Desc: desc, Seg: seg, Written: written}
+	core := n.cores[ring%len(n.cores)]
+	n.se.At(done, func() {
+		core.Submit(true, func(t *sim.Task) {
+			if n.rxHandler != nil {
+				n.rxHandler(t, ring, []RXCompletion{comp})
+			}
+		})
+	})
+}
+
+// touchTranslations exercises the IOMMU translation for every page a
+// transfer spans (the functional DMA only materialises a prefix, but the
+// hardware walks the whole span).
+func (n *NIC) touchTranslations(base iommu.IOVA, span int, write bool) {
+	for off := 0; off < span; off += 1 << 12 {
+		n.u.Translate(n.Cfg.ID, base+iommu.IOVA(off), write) //nolint:errcheck
+	}
+}
+
+// dmaWriteSegment writes the materialised bytes of a segment into the
+// posted buffer through the IOMMU.
+func (n *NIC) dmaWriteSegment(desc RXDesc, seg Segment) (int, error) {
+	payload := seg.Header
+	if seg.WritePayload {
+		payload = seg.Payload
+	}
+	if len(payload) > desc.Size {
+		payload = payload[:desc.Size]
+	}
+	if len(payload) == 0 {
+		// Still exercise the translation for the buffer start.
+		if _, err := n.u.Translate(n.Cfg.ID, desc.IOVA, true); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	return n.u.DMAWrite(n.Cfg.ID, desc.IOVA, payload)
+}
+
+// PostTX queues a transmit descriptor (driver side, after dma_map). The
+// NIC fetches the payload by DMA, puts it on the wire of the given port,
+// and completes back to the driver.
+func (n *NIC) PostTX(ring, port int, desc TXDesc) error {
+	q := n.txqs[ring]
+	if q.inFlight >= n.Cfg.TxRing {
+		return fmt.Errorf("device: TX ring %d full", ring)
+	}
+	q.inFlight++
+
+	now := n.se.Now()
+	done := n.pcieTX.Reserve(now, float64(desc.Size))
+	if a := n.pcieAgg.Reserve(now, float64(desc.Size)); a > done {
+		done = a
+	}
+	if m := perf.DeviceDMATraffic(n.membw, now, desc.Size, n.model.NICDMAMemFraction); m > done {
+		done = m
+	}
+
+	missesBefore := n.u.TLB().Misses
+	// Fetch (a prefix of) the payload through the IOMMU; for throughput
+	// runs reading one cache line per buffer exercises translation
+	// without bulk copying.
+	probe := desc.Size
+	if probe > 256 {
+		probe = 256
+	}
+	buf := make([]byte, probe)
+	_, err := n.u.DMARead(n.Cfg.ID, desc.IOVA, buf)
+	n.touchTranslations(desc.IOVA, desc.Size, false)
+	misses := n.u.TLB().Misses - missesBefore
+	if misses > 0 && n.walker != nil {
+		if d2 := n.walker.Reserve(now, float64(misses)); d2 > done {
+			done = d2
+		}
+	}
+	if err != nil {
+		n.RxBlocked++ // reuse the blocked counter for TX faults too
+	}
+
+	wireDone := n.txWire[port].Reserve(done, float64(desc.Size))
+	n.TxSegments++
+	n.TxBytes += uint64(desc.Size)
+	core := n.cores[ring%len(n.cores)]
+	n.se.At(wireDone, func() {
+		q.inFlight--
+		core.Submit(true, func(t *sim.Task) {
+			if n.txHandler != nil {
+				n.txHandler(t, ring, []TXDesc{desc})
+			}
+		})
+	})
+	return nil
+}
+
+// TXInFlight reports queued transmit descriptors on a ring.
+func (n *NIC) TXInFlight(ring int) int { return n.txqs[ring].inFlight }

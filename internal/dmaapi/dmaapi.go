@@ -1,0 +1,168 @@
+// Package dmaapi implements the kernel DMA mapping API (dma_map/dma_unmap)
+// together with the four baseline IOMMU protection schemes the paper
+// evaluates against (Table 1):
+//
+//   - off:      IOMMU in passthrough; no protection, no overhead.
+//   - strict:   unmap removes the mapping and synchronously invalidates the
+//     IOTLB — secure at page granularity but slow (ATC'15 [34]).
+//   - deferred: unmap batches invalidations (250 entries or 10 ms),
+//     leaving a vulnerability window — Linux's default.
+//   - shadow:   DMA is restricted to a permanently mapped shadow pool and
+//     every transfer is copied through it (ASPLOS'16 [29]) —
+//     full byte-granularity protection, paid in copies.
+//
+// DAMN itself is not a scheme here: it interposes on this API (§5.3 of the
+// paper) through the Interposer hook and falls back to whichever scheme is
+// configured for non-DAMN buffers.
+package dmaapi
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/mem"
+	"github.com/asplos18/damn/internal/perf"
+	"github.com/asplos18/damn/internal/sim"
+)
+
+// Direction of a DMA transfer, as in the kernel's dma_data_direction.
+type Direction int
+
+const (
+	// ToDevice: the device reads the buffer (transmit).
+	ToDevice Direction = iota
+	// FromDevice: the device writes the buffer (receive).
+	FromDevice
+	// Bidirectional transfers.
+	Bidirectional
+)
+
+func (d Direction) String() string {
+	switch d {
+	case ToDevice:
+		return "to-device"
+	case FromDevice:
+		return "from-device"
+	default:
+		return "bidirectional"
+	}
+}
+
+// Perm returns the IOMMU permission a direction requires.
+func (d Direction) Perm() iommu.Perm {
+	switch d {
+	case ToDevice:
+		return iommu.PermRead
+	case FromDevice:
+		return iommu.PermWrite
+	default:
+		return iommu.PermRW
+	}
+}
+
+// Interposer lets a higher-level allocator (DAMN) intercept map/unmap calls
+// for buffers it owns, per §5.3: the networking stack keeps calling the
+// standard DMA API, and DAMN short-circuits it for its own buffers.
+type Interposer interface {
+	// MapHook returns (iova, true) if the buffer at pa is owned by the
+	// interposer and already has a live mapping; (0, false) otherwise.
+	MapHook(c perf.Charger, dev int, pa mem.PhysAddr, size int, dir Direction) (iommu.IOVA, bool)
+	// UnmapHook returns true if the IOVA belongs to the interposer (in
+	// which case nothing needs tearing down).
+	UnmapHook(c perf.Charger, dev int, v iommu.IOVA, size int, dir Direction) bool
+}
+
+// Scheme is one IOMMU protection policy plugged into the Engine.
+type Scheme interface {
+	Name() string
+	// Map makes [pa, pa+size) DMAable by dev and returns the DMA address.
+	Map(c perf.Charger, dev int, pa mem.PhysAddr, size int, dir Direction) (iommu.IOVA, error)
+	// Unmap revokes a mapping returned by Map.
+	Unmap(c perf.Charger, dev int, v iommu.IOVA, size int, dir Direction) error
+}
+
+// Engine is the DMA API entry point drivers call. It tracks the Fig 9
+// page-exposure statistics and dispatches to the interposer or the scheme.
+type Engine struct {
+	Sim    *sim.Engine
+	Mem    *mem.Memory
+	IOMMU  *iommu.IOMMU
+	Model  *perf.Model
+	scheme Scheme
+
+	mu         sync.Mutex
+	interposer Interposer
+
+	// everDMA tracks distinct physical frames that have ever been
+	// exposed to a device through this API (Fig 9's monotone curve).
+	everDMA      []uint64
+	everDMACount int64
+
+	// MapCalls / UnmapCalls count API operations.
+	MapCalls   uint64
+	UnmapCalls uint64
+}
+
+// NewEngine builds the DMA API over the given machine pieces.
+func NewEngine(se *sim.Engine, m *mem.Memory, u *iommu.IOMMU, model *perf.Model, scheme Scheme) *Engine {
+	return &Engine{
+		Sim:     se,
+		Mem:     m,
+		IOMMU:   u,
+		Model:   model,
+		scheme:  scheme,
+		everDMA: make([]uint64, (m.NumPages()+63)/64),
+	}
+}
+
+// Scheme returns the active protection scheme.
+func (e *Engine) Scheme() Scheme { return e.scheme }
+
+// SetInterposer registers the DAMN hook.
+func (e *Engine) SetInterposer(i Interposer) { e.interposer = i }
+
+// Map is dma_map: it passes ownership of [pa, pa+size) to the device and
+// returns the DMA address the driver must program into the device.
+func (e *Engine) Map(c perf.Charger, dev int, pa mem.PhysAddr, size int, dir Direction) (iommu.IOVA, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("dmaapi: bad map size %d", size)
+	}
+	e.MapCalls++
+	e.recordExposure(pa, size)
+	if ip := e.interposer; ip != nil {
+		if v, ok := ip.MapHook(c, dev, pa, size, dir); ok {
+			return v, nil
+		}
+	}
+	return e.scheme.Map(c, dev, pa, size, dir)
+}
+
+// Unmap is dma_unmap: the driver passes back the DMA address it received
+// from Map once the device is done with the buffer.
+func (e *Engine) Unmap(c perf.Charger, dev int, v iommu.IOVA, size int, dir Direction) error {
+	e.UnmapCalls++
+	if ip := e.interposer; ip != nil {
+		if ip.UnmapHook(c, dev, v, size, dir) {
+			return nil
+		}
+	}
+	return e.scheme.Unmap(c, dev, v, size, dir)
+}
+
+// recordExposure marks the frames of [pa, pa+size) as having held DMA data.
+func (e *Engine) recordExposure(pa mem.PhysAddr, size int) {
+	first := mem.PFNOf(pa)
+	last := mem.PFNOf(pa + mem.PhysAddr(size-1))
+	for pfn := first; pfn <= last; pfn++ {
+		w, b := pfn/64, pfn%64
+		if e.everDMA[w]&(1<<b) == 0 {
+			e.everDMA[w] |= 1 << b
+			e.everDMACount++
+		}
+	}
+}
+
+// EverDMAPages returns how many distinct physical pages have ever been
+// handed to a device (Fig 9, "ever mapped").
+func (e *Engine) EverDMAPages() int64 { return e.everDMACount }

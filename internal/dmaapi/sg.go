@@ -1,0 +1,60 @@
+package dmaapi
+
+import (
+	"fmt"
+
+	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/mem"
+	"github.com/asplos18/damn/internal/perf"
+)
+
+// Scatter/gather mapping — the "analogous methods to (un)map non-contiguous
+// scatter/gather lists" of §3. A scatterlist is a set of physically
+// discontiguous buffer pieces that the device walks as one logical
+// transfer; each entry is mapped (or interposed) individually and the
+// resulting DMA addresses are written back into the list.
+
+// SGEntry is one scatterlist element.
+type SGEntry struct {
+	PA  mem.PhysAddr
+	Len int
+	// DMAAddr is filled by MapSG.
+	DMAAddr iommu.IOVA
+}
+
+// MapSG maps every entry of the list, rolling back on failure so no
+// partially mapped list escapes.
+func (e *Engine) MapSG(c perf.Charger, dev int, sg []SGEntry, dir Direction) error {
+	for i := range sg {
+		if sg[i].Len <= 0 {
+			e.unmapPrefix(c, dev, sg[:i], dir)
+			return fmt.Errorf("dmaapi: scatterlist entry %d has length %d", i, sg[i].Len)
+		}
+		v, err := e.Map(c, dev, sg[i].PA, sg[i].Len, dir)
+		if err != nil {
+			e.unmapPrefix(c, dev, sg[:i], dir)
+			return fmt.Errorf("dmaapi: scatterlist entry %d: %w", i, err)
+		}
+		sg[i].DMAAddr = v
+	}
+	return nil
+}
+
+// UnmapSG unmaps every entry of a list previously mapped with MapSG.
+func (e *Engine) UnmapSG(c perf.Charger, dev int, sg []SGEntry, dir Direction) error {
+	var firstErr error
+	for i := range sg {
+		if err := e.Unmap(c, dev, sg[i].DMAAddr, sg[i].Len, dir); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dmaapi: scatterlist entry %d: %w", i, err)
+		}
+		sg[i].DMAAddr = 0
+	}
+	return firstErr
+}
+
+func (e *Engine) unmapPrefix(c perf.Charger, dev int, sg []SGEntry, dir Direction) {
+	for i := range sg {
+		e.Unmap(c, dev, sg[i].DMAAddr, sg[i].Len, dir) //nolint:errcheck
+		sg[i].DMAAddr = 0
+	}
+}

@@ -1,0 +1,141 @@
+package dmaapi
+
+import (
+	"testing"
+
+	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/mem"
+)
+
+func sgFixture(t *testing.T, scheme func(*machine) Scheme) (*machine, *Engine, []SGEntry) {
+	t.Helper()
+	ma := newMachine(t)
+	ma.iommu.AttachDevice(dev)
+	e := NewEngine(ma.se, ma.mem, ma.iommu, ma.model, scheme(ma))
+	// Three discontiguous pieces.
+	var sg []SGEntry
+	for i := 0; i < 3; i++ {
+		pa := ma.allocBuf(t, 0)
+		ma.mem.Write(pa, []byte{byte('A' + i)})
+		sg = append(sg, SGEntry{PA: pa, Len: 1000})
+	}
+	return ma, e, sg
+}
+
+func TestMapSGStrict(t *testing.T) {
+	ma, e, sg := sgFixture(t, func(ma *machine) Scheme { return NewStrictScheme(ma.iommu, ma.model) })
+	if err := e.MapSG(nil, dev, sg, ToDevice); err != nil {
+		t.Fatal(err)
+	}
+	// Every entry individually DMAable, with its own contents.
+	for i := range sg {
+		got := make([]byte, 1)
+		if _, err := ma.iommu.DMARead(dev, sg[i].DMAAddr, got); err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if got[0] != byte('A'+i) {
+			t.Fatalf("entry %d read %q", i, got)
+		}
+	}
+	if err := e.UnmapSG(nil, dev, sg, ToDevice); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sg {
+		if sg[i].DMAAddr != 0 {
+			t.Fatalf("entry %d DMAAddr not cleared", i)
+		}
+	}
+	// Strict: everything revoked immediately.
+	if got := ma.iommu.MappedPages(dev); got != 0 {
+		t.Fatalf("%d pages still mapped after UnmapSG", got)
+	}
+}
+
+func TestMapSGShadowCopies(t *testing.T) {
+	ma, e, sg := sgFixture(t, func(ma *machine) Scheme {
+		return NewShadowScheme(ma.mem, ma.iommu, ma.model, nil)
+	})
+	if err := e.MapSG(nil, dev, sg, ToDevice); err != nil {
+		t.Fatal(err)
+	}
+	// The device sees staged copies, not the originals.
+	for i := range sg {
+		if sg[i].DMAAddr == iommu.IOVA(sg[i].PA) {
+			t.Fatalf("entry %d exposes the original buffer", i)
+		}
+		got := make([]byte, 1)
+		if _, err := ma.iommu.DMARead(dev, sg[i].DMAAddr, got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte('A'+i) {
+			t.Fatalf("entry %d shadow holds %q", i, got)
+		}
+	}
+	if err := e.UnmapSG(nil, dev, sg, ToDevice); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapSGRollsBackOnFailure(t *testing.T) {
+	ma, e, sg := sgFixture(t, func(ma *machine) Scheme { return NewStrictScheme(ma.iommu, ma.model) })
+	sg[2].Len = 0 // invalid tail entry
+	if err := e.MapSG(nil, dev, sg, ToDevice); err == nil {
+		t.Fatal("invalid list accepted")
+	}
+	// The first two entries must have been rolled back.
+	if got := ma.iommu.MappedPages(dev); got != 0 {
+		t.Fatalf("%d pages leaked by rollback", got)
+	}
+	for i := range sg {
+		if sg[i].DMAAddr != 0 {
+			t.Fatalf("entry %d retains a DMA address after rollback", i)
+		}
+	}
+}
+
+func TestMapSGInterposedByDamn(t *testing.T) {
+	ma := newMachine(t)
+	ma.iommu.AttachDevice(dev)
+	e := NewEngine(ma.se, ma.mem, ma.iommu, ma.model, NewStrictScheme(ma.iommu, ma.model))
+	fake := &fakeInterposer{iova: iommu.IOVA(1) << 47}
+	e.SetInterposer(fake)
+	pa := ma.allocBuf(t, 0)
+	sg := []SGEntry{{PA: pa, Len: 512}}
+	if err := e.MapSG(nil, dev, sg, ToDevice); err != nil {
+		t.Fatal(err)
+	}
+	if sg[0].DMAAddr != fake.iova {
+		t.Fatalf("interposer bypassed: %#x", sg[0].DMAAddr)
+	}
+	if err := e.UnmapSG(nil, dev, sg, ToDevice); err != nil {
+		t.Fatal(err)
+	}
+	if ma.iommu.Mappings != 0 {
+		t.Fatal("scheme mapped despite interposer")
+	}
+}
+
+func TestMapSGPageGranularityExposure(t *testing.T) {
+	// Scatterlists inherit the page-granularity weakness of the dynamic
+	// schemes: sub-page entries expose their page neighbours.
+	ma := newMachine(t)
+	ma.iommu.AttachDevice(dev)
+	e := NewEngine(ma.se, ma.mem, ma.iommu, ma.model, NewDeferredScheme(ma.se, ma.iommu, ma.model))
+	slab := mem.NewSlab(ma.mem)
+	a, _ := slab.Alloc(256, 0)
+	b, _ := slab.Alloc(256, 0)
+	ma.mem.Write(b, []byte("NEIGHBOUR-SECRET"))
+	sg := []SGEntry{{PA: a, Len: 256}}
+	if err := e.MapSG(nil, dev, sg, ToDevice); err != nil {
+		t.Fatal(err)
+	}
+	probe := sg[0].DMAAddr - iommu.IOVA(a-b)
+	stolen := make([]byte, 16)
+	if _, err := ma.iommu.DMARead(dev, probe, stolen); err != nil {
+		t.Fatal("expected page-granularity exposure")
+	}
+	if string(stolen) != "NEIGHBOUR-SECRET" {
+		t.Fatalf("read %q", stolen)
+	}
+	e.UnmapSG(nil, dev, sg, ToDevice)
+}

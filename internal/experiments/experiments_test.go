@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/asplos18/damn/internal/testbed"
+)
+
+var quick = Options{Quick: true}
+
+func TestTable1SecurityMatrix(t *testing.T) {
+	rows, err := Table1(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderTable1(rows))
+	want := map[string]Table1Row{
+		string(testbed.SchemeOff):      {Subpage: false, NoWindow: false},
+		string(testbed.SchemeDeferred): {Subpage: false, NoWindow: false},
+		string(testbed.SchemeStrict):   {Subpage: false, NoWindow: true},
+		string(testbed.SchemeShadow):   {Subpage: true, NoWindow: true},
+		string(testbed.SchemeDAMN):     {Subpage: true, NoWindow: true},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Scheme]
+		if !ok {
+			t.Errorf("unexpected scheme %s", r.Scheme)
+			continue
+		}
+		if r.Subpage != w.Subpage {
+			t.Errorf("%s: subpage-safe = %v, paper says %v", r.Scheme, r.Subpage, w.Subpage)
+		}
+		if r.NoWindow != w.NoWindow {
+			t.Errorf("%s: no-window = %v, paper says %v", r.Scheme, r.NoWindow, w.NoWindow)
+		}
+	}
+}
+
+func byScheme[T any](rows []T, scheme func(T) string, name string) (T, bool) {
+	for _, r := range rows {
+		if scheme(r) == name {
+			return r, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+func TestFig4Shape(t *testing.T) {
+	rows, err := Fig4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFig4(rows))
+	get := func(dir, scheme string) float64 {
+		for _, r := range rows {
+			if r.Dir == dir && r.Scheme == scheme {
+				return r.Gbps
+			}
+		}
+		t.Fatalf("missing %s/%s", dir, scheme)
+		return 0
+	}
+	off, damn, strict, shadow := get("RX", "iommu-off"), get("RX", "damn"), get("RX", "strict"), get("RX", "shadow")
+	if damn < 0.9*off {
+		t.Errorf("RX damn %.1f should be within 10%% of iommu-off %.1f", damn, off)
+	}
+	if !(shadow < strict && strict < damn) {
+		t.Errorf("RX ordering broken: shadow %.1f strict %.1f damn %.1f", shadow, strict, damn)
+	}
+	if damn < 2*shadow {
+		t.Errorf("single-core damn (%.1f) should be ≈2.7× shadow (%.1f)", damn, shadow)
+	}
+	if txOff := get("TX", "iommu-off"); txOff < off {
+		t.Errorf("TX iommu-off %.1f should exceed RX %.1f (Fig 4b)", txOff, off)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	rows, err := Fig5(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFig5(rows))
+	for _, r := range rows {
+		if r.Dir != "RX" {
+			continue
+		}
+		switch r.Scheme {
+		case "strict":
+			if r.Gbps > 95 {
+				t.Errorf("multi-core strict RX %.1f should throttle below line rate", r.Gbps)
+			}
+		default:
+			if r.Gbps < 95 {
+				t.Errorf("multi-core %s RX %.1f should reach ≈100 Gb/s", r.Scheme, r.Gbps)
+			}
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	rows, err := Fig6(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFig6(rows))
+	get := func(name string) BidirRow {
+		r, ok := byScheme(rows, func(r BidirRow) string { return r.Scheme }, name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		return r
+	}
+	off, deferred, damn := get("iommu-off"), get("deferred"), get("damn")
+	strict, shadow := get("strict"), get("shadow")
+	if damn.TotalGbps < 0.8*off.TotalGbps {
+		t.Errorf("damn %.1f should be ≥80%% of iommu-off %.1f", damn.TotalGbps, off.TotalGbps)
+	}
+	if damn.TotalGbps < 0.9*deferred.TotalGbps {
+		t.Errorf("damn %.1f should be within ~3%% of deferred %.1f", damn.TotalGbps, deferred.TotalGbps)
+	}
+	if strict.TotalGbps > 0.8*damn.TotalGbps {
+		t.Errorf("strict %.1f should be well below damn %.1f (paper: 44%% worse)", strict.TotalGbps, damn.TotalGbps)
+	}
+	// Shadow exhausts memory bandwidth (§6.1).
+	if shadow.MemBWGBps < 70 {
+		t.Errorf("shadow memory bandwidth %.1f GB/s should approach the 80 GB/s ceiling", shadow.MemBWGBps)
+	}
+	if shadow.CPUUtil < 1.5*damn.CPUUtil {
+		t.Errorf("shadow CPU %.2f should be ≥1.5× damn %.2f", shadow.CPUUtil, damn.CPUUtil)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderTable3(rows))
+	if len(rows) != 4 {
+		t.Fatalf("want 4 configurations, got %d", len(rows))
+	}
+	damn, huge, noiommu, off := rows[0], rows[1], rows[2], rows[3]
+	if !(damn.Gbps <= huge.Gbps+2 && huge.Gbps <= noiommu.Gbps+2 && noiommu.Gbps <= off.Gbps+2) {
+		t.Errorf("Table 3 ordering broken: %.1f ≤ %.1f ≤ %.1f ≤ %.1f expected",
+			damn.Gbps, huge.Gbps, noiommu.Gbps, off.Gbps)
+	}
+	if damn.PctOfIOMMU < 75 {
+		t.Errorf("damn at %.1f%% of iommu-off; paper reports 86%%", damn.PctOfIOMMU)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	rows, err := Fig2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFig2(rows))
+	get := func(name string) InterferenceRow {
+		r, ok := byScheme(rows, func(r InterferenceRow) string { return r.Config }, name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		return r
+	}
+	shadow, damn, noNet := get("shadow"), get("damn"), get("no net")
+	if noNet.GraphIterSec <= 0 || shadow.GraphIterSec <= 0 || damn.GraphIterSec <= 0 {
+		t.Fatalf("BFS iterations did not complete: shadow=%.3f damn=%.3f alone=%.3f",
+			shadow.GraphIterSec, damn.GraphIterSec, noNet.GraphIterSec)
+	}
+	// Shadow buffers slow the co-runner down (1.44× in the paper) and
+	// lose netperf throughput relative to damn.
+	if shadow.GraphIterSec < 1.2*noNet.GraphIterSec {
+		t.Errorf("shadow BFS %.3fs should be ≥1.2× standalone %.3fs", shadow.GraphIterSec, noNet.GraphIterSec)
+	}
+	if damn.GraphIterSec > 1.4*noNet.GraphIterSec {
+		t.Errorf("damn BFS %.3fs should stay near standalone %.3fs", damn.GraphIterSec, noNet.GraphIterSec)
+	}
+	if shadow.NetperfGbps > 0.8*damn.NetperfGbps {
+		t.Errorf("shadow netperf %.1f should lose badly to damn %.1f", shadow.NetperfGbps, damn.NetperfGbps)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	rows, err := Fig7(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFig7(rows))
+	get := func(name string) MemcachedRow {
+		r, ok := byScheme(rows, func(r MemcachedRow) string { return r.Scheme }, name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		return r
+	}
+	off, damn, strict, shadow := get("iommu-off"), get("damn"), get("strict"), get("shadow")
+	if damn.TPS < 0.85*off.TPS {
+		t.Errorf("damn TPS %.0f should be comparable to iommu-off %.0f", damn.TPS, off.TPS)
+	}
+	if strict.TPS > 0.7*off.TPS {
+		t.Errorf("strict TPS %.0f should be ≈half of iommu-off %.0f", strict.TPS, off.TPS)
+	}
+	if shadow.CPUUtil < 1.3*damn.CPUUtil {
+		t.Errorf("shadow CPU %.2f should be ≈1.6× damn %.2f", shadow.CPUUtil, damn.CPUUtil)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	rows, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFig8(rows))
+	cpu := func(scheme string, n int) float64 {
+		for _, r := range rows {
+			if r.Scheme == scheme && r.AccessedBytes == n {
+				return r.CPUUtil
+			}
+		}
+		t.Fatalf("missing %s/%d", scheme, n)
+		return 0
+	}
+	// damn starts at iommu-off's level and grows toward shadow.
+	if d0, o0 := cpu("damn", 0), cpu("iommu-off", 0); d0 > 1.15*o0 {
+		t.Errorf("damn at 0 B (%.2f) should match iommu-off (%.2f)", d0, o0)
+	}
+	if dFull, d0 := cpu("damn", 64<<10), cpu("damn", 0); dFull < 1.15*d0 {
+		t.Errorf("damn CPU should grow with accessed bytes: %.2f -> %.2f", d0, dFull)
+	}
+	// shadow is flat: it copies everything regardless.
+	if sFull, s0 := cpu("shadow", 64<<10), cpu("shadow", 0); sFull > 1.25*s0 {
+		t.Errorf("shadow CPU should stay ≈flat: %.2f -> %.2f", s0, sFull)
+	}
+	// At full copy damn stays below shadow (§6.2: ~10% lower).
+	if dFull, sFull := cpu("damn", 64<<10), cpu("shadow", 64<<10); dFull > sFull {
+		t.Errorf("damn at full copy (%.2f) should stay below shadow (%.2f)", dFull, sFull)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	points, err := Fig9(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFig9(points))
+	last := points[len(points)-1]
+	mid := points[len(points)/2]
+	if last.EverPages <= mid.EverPages {
+		t.Errorf("ever-mapped pages should grow monotonically: %d -> %d", mid.EverPages, last.EverPages)
+	}
+	// Currently-mapped stays bounded (paper: < 50 MiB ≈ 12800 pages; our
+	// rings are smaller but the point is boundedness).
+	if last.CurrentlyMapd > 4*mid.CurrentlyMapd+1000 {
+		t.Errorf("currently-mapped should stay ≈flat: %d vs %d", mid.CurrentlyMapd, last.CurrentlyMapd)
+	}
+	if last.EverPages < 2*last.CurrentlyMapd {
+		t.Errorf("ever (%d) should significantly exceed current (%d) by run end", last.EverPages, last.CurrentlyMapd)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	rows, err := Fig10(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFig10(rows))
+	// DAMN's memory usage must stay comparable to iommu-off (§6.3:
+	// difference at most ≈270 MiB, usually much closer).
+	for _, r := range rows {
+		if r.Scheme != string(testbed.SchemeDAMN) {
+			continue
+		}
+		for _, o := range rows {
+			if o.Scheme == string(testbed.SchemeOff) && o.Direction == r.Direction && o.Instances == r.Instances {
+				if r.AvgMiB > o.AvgMiB+300 {
+					t.Errorf("%s/%d: damn %.0f MiB vs off %.0f MiB exceeds the paper's ≈270 MiB bound",
+						r.Direction, r.Instances, r.AvgMiB, o.AvgMiB)
+				}
+			}
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows, err := Fig11(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFig11(rows))
+	get := func(scheme string, bs int) FioRow {
+		for _, r := range rows {
+			if r.Scheme == scheme && r.BlockSize == bs {
+				return r
+			}
+		}
+		t.Fatalf("missing %s/%d", scheme, bs)
+		return FioRow{}
+	}
+	// 512 B: every scheme reaches the device's ≈900 K IOPS ceiling.
+	for _, s := range []string{"iommu-off", "deferred", "strict", "shadow"} {
+		if r := get(s, 512); r.KIOPS < 800 {
+			t.Errorf("%s at 512 B: %.0f K IOPS, device ceiling is ≈900 K", s, r.KIOPS)
+		}
+	}
+	// Strict burns noticeably more CPU at 512 B (paper: 2×).
+	if s, o := get("strict", 512), get("iommu-off", 512); s.CPUUtil < 1.2*o.CPUUtil {
+		t.Errorf("strict CPU %.3f should exceed iommu-off %.3f markedly", s.CPUUtil, o.CPUUtil)
+	}
+	// Shadow ≈ iommu-off for storage — the premise of §6.5.
+	if s, o := get("shadow", 32<<10), get("iommu-off", 32<<10); s.KIOPS < 0.9*o.KIOPS {
+		t.Errorf("shadow IOPS %.0f should match iommu-off %.0f for NVMe", s.KIOPS, o.KIOPS)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	rows, err := Ablations(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderAblations(rows))
+	get := func(name string) AblationRow {
+		r, ok := byScheme(rows, func(r AblationRow) string { return r.Config }, name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		return r
+	}
+	full := get(string(testbed.SchemeDAMN))
+	single := get(string(testbed.SchemeDAMNSingleCtx))
+	nocache := get(string(testbed.SchemeDAMNNoCache))
+	// Disabling interrupts per operation costs throughput on the
+	// CPU-bound test ("measurable negative impact", §5.4).
+	if single.TotalGbps > 0.99*full.TotalGbps {
+		t.Errorf("single-context %.1f should measurably trail full design %.1f", single.TotalGbps, full.TotalGbps)
+	}
+	// Without the DMA cache, per-buffer zero/map/unmap/invalidate work
+	// must hurt badly.
+	if nocache.TotalGbps > 0.8*full.TotalGbps {
+		t.Errorf("no-dma-cache %.1f should collapse well below full design %.1f", nocache.TotalGbps, full.TotalGbps)
+	}
+}
+
+func TestFootnote5Shape(t *testing.T) {
+	rows, err := Footnote5(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + RenderFootnote5(rows))
+	get := func(name string) float64 {
+		r, ok := byScheme(rows, func(r Footnote5Row) string { return r.Scheme }, name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		return r.Gbps
+	}
+	off, deferred, strict := get("iommu-off"), get("deferred"), get("strict")
+	if off < 15 || off > 25 {
+		t.Errorf("iommu-off %.1f Gb/s, footnote says ≈20", off)
+	}
+	if deferred < 3.5 || deferred > 8 {
+		t.Errorf("deferred %.1f Gb/s, footnote says ≈5", deferred)
+	}
+	if strict > 0.7*deferred {
+		t.Errorf("strict %.1f should be ≈half of deferred %.1f", strict, deferred)
+	}
+	// DAMN is the fix: it should stay near iommu-off even here.
+	if dm := get("damn"); dm < 0.7*off {
+		t.Errorf("damn %.1f should stay near iommu-off %.1f", dm, off)
+	}
+}

@@ -1,0 +1,114 @@
+package iommu
+
+import (
+	"fmt"
+
+	"github.com/asplos18/damn/internal/mem"
+)
+
+// Translate resolves one IOVA to a physical address on behalf of a device
+// DMA, consulting the IOTLB first. A hit is served from the cache even when
+// the page tables no longer contain the mapping — exactly the hardware
+// behaviour that makes deferred invalidation a security/performance trade.
+// write selects the permission that must be present.
+func (u *IOMMU) Translate(dev int, iova IOVA, write bool) (mem.PhysAddr, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.translateLocked(dev, iova, write)
+}
+
+func (u *IOMMU) translateLocked(dev int, iova IOVA, write bool) (mem.PhysAddr, error) {
+	u.Translations++
+	d := u.domains[dev]
+	if d == nil {
+		u.BlockedDMAs++
+		f := Fault{Dev: dev, Addr: iova, Wanted: permFor(write), Write: write}
+		u.faults = append(u.faults, f)
+		return 0, f
+	}
+	if d.Passthrough {
+		return mem.PhysAddr(iova), nil
+	}
+	need := permFor(write)
+	if e, ok := u.tlb.lookup(dev, iova); ok {
+		if e.perm&need == 0 {
+			u.BlockedDMAs++
+			f := Fault{Dev: dev, Addr: iova, Wanted: need, Write: write}
+			u.faults = append(u.faults, f)
+			return 0, f
+		}
+		if e.huge {
+			return e.pfn.Addr() + mem.PhysAddr(iova&IOVA(mem.HugePageMask)), nil
+		}
+		return e.pfn.Addr() + mem.PhysAddr(iova&IOVA(mem.PageMask)), nil
+	}
+	// IOTLB miss: walk the page tables.
+	e := d.walk(iova, false)
+	if e == nil || !e.present {
+		u.BlockedDMAs++
+		f := Fault{Dev: dev, Addr: iova, Wanted: need, Write: write}
+		u.faults = append(u.faults, f)
+		return 0, f
+	}
+	if e.perm&need == 0 {
+		u.BlockedDMAs++
+		f := Fault{Dev: dev, Addr: iova, Wanted: need, Write: write}
+		u.faults = append(u.faults, f)
+		return 0, f
+	}
+	u.tlb.insert(dev, iova, e.huge, e.pfn, e.perm)
+	if e.huge {
+		return e.pfn.Addr() + mem.PhysAddr(iova&IOVA(mem.HugePageMask)), nil
+	}
+	return e.pfn.Addr() + mem.PhysAddr(iova&IOVA(mem.PageMask)), nil
+}
+
+func permFor(write bool) Perm {
+	if write {
+		return PermWrite
+	}
+	return PermRead
+}
+
+// DMARead performs a device read (device fetches host memory, e.g. a TX
+// payload): n = len(buf) bytes starting at iova are copied into buf.
+// Translation happens page by page; a fault anywhere aborts the transfer at
+// the fault boundary and returns the fault plus the byte count completed.
+func (u *IOMMU) DMARead(dev int, iova IOVA, buf []byte) (int, error) {
+	return u.dma(dev, iova, buf, false)
+}
+
+// DMAWrite performs a device write (device deposits into host memory, e.g.
+// an RX packet): len(buf) bytes are copied from buf to iova.
+func (u *IOMMU) DMAWrite(dev int, iova IOVA, buf []byte) (int, error) {
+	return u.dma(dev, iova, buf, true)
+}
+
+func (u *IOMMU) dma(dev int, iova IOVA, buf []byte, write bool) (int, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	done := 0
+	for done < len(buf) {
+		va := iova + IOVA(done)
+		pa, err := u.translateLocked(dev, va, write)
+		if err != nil {
+			return done, err
+		}
+		// Transfer up to the end of the current 4 KiB page (the unit
+		// of translation even within huge mappings).
+		chunk := mem.PageSize - int(va&IOVA(mem.PageMask))
+		if rem := len(buf) - done; chunk > rem {
+			chunk = rem
+		}
+		if err := u.mem.CheckRange(pa, chunk); err != nil {
+			return done, fmt.Errorf("iommu: translated DMA out of RAM bounds: %w", err)
+		}
+		if write {
+			u.mem.Write(pa, buf[done:done+chunk])
+		} else {
+			u.mem.Read(pa, buf[done:done+chunk])
+		}
+		done += chunk
+	}
+	return done, nil
+}

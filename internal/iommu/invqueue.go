@@ -1,0 +1,128 @@
+package iommu
+
+import "fmt"
+
+// The OS controls the IOTLB through an *invalidation queue* — "a cyclic
+// buffer from which the IOMMU reads commands" (§3 of the paper). The
+// protection schemes submit commands here; invalidations take effect only
+// when the hardware drains the queue, which is exactly the semantics that
+// separates strict (submit + wait for drain) from deferred (submit and move
+// on, leaving the window open).
+
+// CommandKind selects an invalidation command type.
+type CommandKind uint8
+
+const (
+	// InvRange invalidates the IOTLB entries overlapping an IOVA range
+	// of one device.
+	InvRange CommandKind = iota
+	// InvDomain invalidates everything belonging to one device
+	// (domain-selective invalidation).
+	InvDomain
+	// InvGlobal invalidates the whole IOTLB.
+	InvGlobal
+	// InvWait is a fence: hardware acknowledges it only after every
+	// earlier command has executed (used by strict-mode waits).
+	InvWait
+)
+
+func (k CommandKind) String() string {
+	switch k {
+	case InvRange:
+		return "range"
+	case InvDomain:
+		return "domain"
+	case InvGlobal:
+		return "global"
+	case InvWait:
+		return "wait"
+	default:
+		return "?"
+	}
+}
+
+// Command is one invalidation-queue entry.
+type Command struct {
+	Kind CommandKind
+	Dev  int
+	Base IOVA
+	Size int
+	// Acked is set by the hardware when an InvWait executes.
+	Acked *bool
+}
+
+// InvQueueDepth is the cyclic buffer capacity (VT-d queues are a few
+// hundred entries; 256 matches Linux's default allocation).
+const InvQueueDepth = 256
+
+// InvalidationQueue is the cyclic command buffer. The OS is the producer
+// (Submit); the hardware is the consumer (Drain).
+type InvalidationQueue struct {
+	tlb *IOTLB
+
+	buf   [InvQueueDepth]Command
+	head  int // next slot the hardware reads
+	tail  int // next slot the OS writes
+	count int
+
+	Submitted uint64
+	Processed uint64
+}
+
+// NewInvalidationQueue builds a queue feeding the given IOTLB.
+func NewInvalidationQueue(tlb *IOTLB) *InvalidationQueue {
+	return &InvalidationQueue{tlb: tlb}
+}
+
+// Pending reports queued, not-yet-executed commands.
+func (q *InvalidationQueue) Pending() int { return q.count }
+
+// Submit enqueues a command; it does NOT take effect until the hardware
+// drains the queue. A full queue forces the OS to drain synchronously
+// first (as the VT-d driver does when the queue wraps).
+func (q *InvalidationQueue) Submit(cmd Command) error {
+	if q.count == InvQueueDepth {
+		// Hardware consumes commands far faster than software can
+		// produce them in practice; model the wrap case by draining.
+		q.Drain()
+	}
+	if cmd.Kind == InvRange && cmd.Size <= 0 {
+		return fmt.Errorf("iommu: range invalidation with size %d", cmd.Size)
+	}
+	q.buf[q.tail] = cmd
+	q.tail = (q.tail + 1) % InvQueueDepth
+	q.count++
+	q.Submitted++
+	return nil
+}
+
+// Drain executes every pending command in FIFO order and returns how many
+// ran. This is the "hardware" side; callers charge its latency separately
+// (perf.Model.IOTLBInvLatency per command).
+func (q *InvalidationQueue) Drain() int {
+	n := 0
+	for q.count > 0 {
+		cmd := q.buf[q.head]
+		q.head = (q.head + 1) % InvQueueDepth
+		q.count--
+		q.execute(cmd)
+		n++
+		q.Processed++
+	}
+	return n
+}
+
+func (q *InvalidationQueue) execute(cmd Command) {
+	switch cmd.Kind {
+	case InvRange:
+		q.tlb.InvalidateRange(cmd.Dev, cmd.Base, cmd.Size)
+	case InvDomain:
+		q.tlb.InvalidateDevice(cmd.Dev)
+	case InvGlobal:
+		q.tlb.InvalidateAll()
+	case InvWait:
+		if cmd.Acked != nil {
+			*cmd.Acked = true
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package iommu
+
+import (
+	"testing"
+
+	"github.com/asplos18/damn/internal/mem"
+)
+
+func newQueueFixture(t *testing.T) (*IOMMU, *mem.Memory) {
+	t.Helper()
+	m, err := mem.New(mem.Config{TotalBytes: 32 << 20, NUMANodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := New(m)
+	u.AttachDevice(1)
+	return u, m
+}
+
+func TestInvQueueDeferredSemantics(t *testing.T) {
+	// The defining behaviour: a submitted invalidation has no effect
+	// until the hardware drains the queue.
+	u, m := newQueueFixture(t)
+	p, _ := m.AllocPages(0, 0)
+	if err := u.Map(1, 0x4000, p.PFN().Addr(), mem.PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Translate(1, 0x4000, true); err != nil { // prime IOTLB
+		t.Fatal(err)
+	}
+	if err := u.Unmap(1, 0x4000, mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	u.InvQ().Submit(Command{Kind: InvRange, Dev: 1, Base: 0x4000, Size: mem.PageSize})
+	if u.InvQ().Pending() != 1 {
+		t.Fatalf("Pending = %d", u.InvQ().Pending())
+	}
+	// Still translatable: the command has not executed.
+	if _, err := u.Translate(1, 0x4000, true); err != nil {
+		t.Fatal("stale IOTLB entry should survive until drain")
+	}
+	if n := u.InvQ().Drain(); n != 1 {
+		t.Fatalf("Drain = %d", n)
+	}
+	if _, err := u.Translate(1, 0x4000, true); err == nil {
+		t.Fatal("translation should fault after drain")
+	}
+}
+
+func TestInvQueueFIFOAndWait(t *testing.T) {
+	u, m := newQueueFixture(t)
+	p, _ := m.AllocPages(0, 0)
+	u.Map(1, 0x4000, p.PFN().Addr(), mem.PageSize, PermRW)
+	u.Translate(1, 0x4000, true)
+
+	acked := false
+	u.InvQ().Submit(Command{Kind: InvDomain, Dev: 1})
+	u.InvQ().Submit(Command{Kind: InvWait, Acked: &acked})
+	if acked {
+		t.Fatal("wait acked before drain")
+	}
+	u.InvQ().Drain()
+	if !acked {
+		t.Fatal("wait command not acknowledged")
+	}
+	if u.InvQ().Processed != 2 || u.InvQ().Submitted != 2 {
+		t.Fatalf("counters: %d/%d", u.InvQ().Processed, u.InvQ().Submitted)
+	}
+}
+
+func TestInvQueueWrapDrains(t *testing.T) {
+	u, _ := newQueueFixture(t)
+	// Overfill the cyclic buffer: the producer must drain rather than
+	// drop or corrupt commands.
+	for i := 0; i < InvQueueDepth+10; i++ {
+		if err := u.InvQ().Submit(Command{Kind: InvGlobal}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u.InvQ().Submitted != InvQueueDepth+10 {
+		t.Fatalf("Submitted = %d", u.InvQ().Submitted)
+	}
+	u.InvQ().Drain()
+	if u.InvQ().Processed != InvQueueDepth+10 {
+		t.Fatalf("Processed = %d", u.InvQ().Processed)
+	}
+	if u.InvQ().Pending() != 0 {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestInvQueueRejectsBadRange(t *testing.T) {
+	u, _ := newQueueFixture(t)
+	if err := u.InvQ().Submit(Command{Kind: InvRange, Dev: 1, Base: 0x1000, Size: 0}); err == nil {
+		t.Fatal("zero-size range accepted")
+	}
+}
+
+func TestInvQueueGlobal(t *testing.T) {
+	u, m := newQueueFixture(t)
+	u.AttachDevice(2)
+	p, _ := m.AllocPages(0, 0)
+	p2, _ := m.AllocPages(0, 0)
+	u.Map(1, 0x4000, p.PFN().Addr(), mem.PageSize, PermRW)
+	u.Map(2, 0x8000, p2.PFN().Addr(), mem.PageSize, PermRW)
+	u.Translate(1, 0x4000, true)
+	u.Translate(2, 0x8000, true)
+	u.Unmap(1, 0x4000, mem.PageSize)
+	u.Unmap(2, 0x8000, mem.PageSize)
+	u.InvQ().Submit(Command{Kind: InvGlobal})
+	u.InvQ().Drain()
+	if _, err := u.Translate(1, 0x4000, true); err == nil {
+		t.Fatal("dev 1 entry survived global invalidation")
+	}
+	if _, err := u.Translate(2, 0x8000, true); err == nil {
+		t.Fatal("dev 2 entry survived global invalidation")
+	}
+}
+
+func TestInvalidateRangeIndexedMatchesSweep(t *testing.T) {
+	// The set-indexed fast path must drop exactly what the sweep would.
+	u, m := newQueueFixture(t)
+	p, _ := m.AllocPages(4, 0) // 16 pages
+	base := p.PFN().Addr()
+	if err := u.Map(1, 0x100000, base, 16*mem.PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		u.Translate(1, 0x100000+IOVA(i*mem.PageSize), true)
+	}
+	// Invalidate the middle 4 pages via the indexed path (<=64 pages).
+	u.TLB().InvalidateRange(1, 0x100000+4*mem.PageSize, 4*mem.PageSize)
+	for i := 0; i < 16; i++ {
+		miss0 := u.TLB().Misses
+		u.Translate(1, 0x100000+IOVA(i*mem.PageSize), true)
+		missed := u.TLB().Misses > miss0
+		inRange := i >= 4 && i < 8
+		if inRange && !missed {
+			t.Fatalf("page %d should have been invalidated", i)
+		}
+		if !inRange && missed {
+			t.Fatalf("page %d was invalidated but is outside the range", i)
+		}
+	}
+}

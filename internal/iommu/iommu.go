@@ -1,0 +1,354 @@
+// Package iommu models an Intel VT-d–style I/O memory management unit: per-
+// device domains with 4-level page tables mapping I/O virtual addresses
+// (IOVAs) to physical addresses, an IOTLB that caches translations, and an
+// invalidation queue through which the OS retires stale IOTLB entries.
+//
+// The security-critical behaviour reproduced here is the one every scheme in
+// the paper revolves around: a DMA translates successfully if the IOTLB
+// still caches the mapping, *even after the OS has removed it from the page
+// tables*. Deferred invalidation therefore leaves a real, exploitable window
+// (§4.1), which the attack scenarios in internal/device exercise.
+package iommu
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/asplos18/damn/internal/mem"
+)
+
+// IOVA is an I/O virtual address. The usable space is 48 bits, and DAMN
+// partitions it by the most significant bit (§5.4/§5.5 of the paper).
+type IOVA uint64
+
+// Perm is a DMA permission bitmask.
+type Perm uint8
+
+const (
+	// PermRead allows the device to read (device-to-host TX data fetch).
+	PermRead Perm = 1 << iota
+	// PermWrite allows the device to write (RX packet landing).
+	PermWrite
+
+	PermRW = PermRead | PermWrite
+)
+
+func (p Perm) String() string {
+	switch p {
+	case PermRead:
+		return "r"
+	case PermWrite:
+		return "w"
+	case PermRW:
+		return "rw"
+	default:
+		return "-"
+	}
+}
+
+// Page-table geometry (x86-64 style): 4 levels of 9 bits over 4 KiB pages.
+const (
+	ptLevels     = 4
+	ptBits       = 9
+	ptFanout     = 1 << ptBits // 512
+	iovaBits     = 48
+	maxIOVA      = IOVA(1)<<iovaBits - 1
+	hugeLevel    = 1 // level index (from leaf) at which 2 MiB mappings sit
+	hugeCoverage = mem.HugePageSize
+)
+
+// Fault records a blocked DMA.
+type Fault struct {
+	Dev    int
+	Addr   IOVA
+	Wanted Perm
+	Write  bool
+}
+
+func (f Fault) Error() string {
+	return fmt.Sprintf("iommu: DMA fault dev=%d iova=%#x want=%s", f.Dev, f.Addr, f.Wanted)
+}
+
+// pte is a page-table entry. Leaf entries carry the target frame and
+// permission; interior entries carry children.
+type pte struct {
+	present  bool
+	huge     bool // 2 MiB leaf at hugeLevel
+	pfn      mem.PFN
+	perm     Perm
+	children *[ptFanout]pte
+}
+
+// Domain is one device's IOVA address space: the analogue of a VT-d domain
+// with its own page-table root.
+type Domain struct {
+	Dev  int
+	root [ptFanout]pte
+
+	// Passthrough disables translation for this device (iommu-off):
+	// IOVA == physical address and everything is permitted.
+	Passthrough bool
+
+	mappedPages int64 // currently mapped 4 KiB-equivalent pages
+	everMapped  int64 // cumulative (Fig 9's "ever touched" curve)
+}
+
+// IOMMU is the unit: domains plus the shared IOTLB and fault log.
+type IOMMU struct {
+	mu      sync.Mutex
+	mem     *mem.Memory
+	domains map[int]*Domain
+	tlb     *IOTLB
+	invq    *InvalidationQueue
+
+	faults []Fault
+	// Stats the evaluation reads.
+	Mappings     uint64 // map operations
+	Unmappings   uint64 // unmap operations
+	Translations uint64 // DMA page translations attempted
+	BlockedDMAs  uint64
+}
+
+// New creates an IOMMU over the given physical memory.
+func New(m *mem.Memory) *IOMMU {
+	tlb := NewIOTLB(DefaultIOTLBConfig())
+	return &IOMMU{
+		mem:     m,
+		domains: make(map[int]*Domain),
+		tlb:     tlb,
+		invq:    NewInvalidationQueue(tlb),
+	}
+}
+
+// TLB exposes the IOTLB (the DMA API charges costs for its operations and
+// the evaluation reads its hit/miss counters).
+func (u *IOMMU) TLB() *IOTLB { return u.tlb }
+
+// InvQ exposes the invalidation queue through which all IOTLB
+// invalidations flow (§3).
+func (u *IOMMU) InvQ() *InvalidationQueue { return u.invq }
+
+// AttachDevice creates (or returns) the domain for a device.
+func (u *IOMMU) AttachDevice(dev int) *Domain {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	d, ok := u.domains[dev]
+	if !ok {
+		d = &Domain{Dev: dev}
+		u.domains[dev] = d
+	}
+	return d
+}
+
+// Domain returns the domain for dev, or nil.
+func (u *IOMMU) Domain(dev int) *Domain {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.domains[dev]
+}
+
+// Faults returns a copy of the fault log.
+func (u *IOMMU) Faults() []Fault {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	out := make([]Fault, len(u.faults))
+	copy(out, u.faults)
+	return out
+}
+
+// indexAt returns the page-table index of iova at the given level
+// (level 3 = root, level 0 = leaf).
+func indexAt(iova IOVA, level int) int {
+	return int(iova >> (mem.PageShift + uint(level)*ptBits) & (ptFanout - 1))
+}
+
+// Map installs a translation for [iova, iova+size) to the physical range
+// starting at pa, with the given permission. Both iova and pa must be page
+// aligned and the range must not cross already-mapped pages.
+func (u *IOMMU) Map(dev int, iova IOVA, pa mem.PhysAddr, size int, perm Perm) error {
+	if iova&IOVA(mem.PageMask) != 0 || uint64(pa)&uint64(mem.PageMask) != 0 {
+		return fmt.Errorf("iommu: unaligned map iova=%#x pa=%#x", iova, pa)
+	}
+	if size <= 0 || iova+IOVA(size)-1 > maxIOVA {
+		return fmt.Errorf("iommu: bad map size %d at %#x", size, iova)
+	}
+	if perm == 0 {
+		return fmt.Errorf("iommu: mapping with empty permissions")
+	}
+	if err := u.mem.CheckRange(pa, size); err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	d := u.domains[dev]
+	if d == nil {
+		return fmt.Errorf("iommu: device %d not attached", dev)
+	}
+	pages := (size + mem.PageSize - 1) >> mem.PageShift
+	for i := 0; i < pages; i++ {
+		va := iova + IOVA(i)<<mem.PageShift
+		e := d.walk(va, true)
+		if e.present {
+			return fmt.Errorf("iommu: iova %#x already mapped", va)
+		}
+		e.present = true
+		e.pfn = mem.PFNOf(pa) + mem.PFN(i)
+		e.perm = perm
+	}
+	d.mappedPages += int64(pages)
+	d.everMapped += int64(pages)
+	u.Mappings++
+	return nil
+}
+
+// MapHuge installs a single 2 MiB mapping. iova and pa must be 2 MiB
+// aligned. Used by the Table 3 "huge iova pages" DAMN variant.
+func (u *IOMMU) MapHuge(dev int, iova IOVA, pa mem.PhysAddr, perm Perm) error {
+	if iova&IOVA(mem.HugePageMask) != 0 || uint64(pa)&uint64(mem.HugePageMask) != 0 {
+		return fmt.Errorf("iommu: unaligned huge map iova=%#x pa=%#x", iova, pa)
+	}
+	if err := u.mem.CheckRange(pa, mem.HugePageSize); err != nil {
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	d := u.domains[dev]
+	if d == nil {
+		return fmt.Errorf("iommu: device %d not attached", dev)
+	}
+	e := d.walkHuge(iova, true)
+	if e.present {
+		return fmt.Errorf("iommu: huge iova %#x already mapped", iova)
+	}
+	e.present = true
+	e.huge = true
+	e.pfn = mem.PFNOf(pa)
+	e.perm = perm
+	pages := int64(mem.HugePageSize / mem.PageSize)
+	d.mappedPages += pages
+	d.everMapped += pages
+	u.Mappings++
+	return nil
+}
+
+// Unmap removes translations for [iova, iova+size). The removal only takes
+// full effect once the corresponding IOTLB entries are invalidated; until
+// then, cached translations keep working — this is the deferred-mode
+// vulnerability window.
+func (u *IOMMU) Unmap(dev int, iova IOVA, size int) error {
+	if iova&IOVA(mem.PageMask) != 0 || size <= 0 {
+		return fmt.Errorf("iommu: bad unmap [%#x,+%d)", iova, size)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	d := u.domains[dev]
+	if d == nil {
+		return fmt.Errorf("iommu: device %d not attached", dev)
+	}
+	pages := (size + mem.PageSize - 1) >> mem.PageShift
+	for i := 0; i < pages; i++ {
+		va := iova + IOVA(i)<<mem.PageShift
+		e := d.walk(va, false)
+		if e == nil || !e.present {
+			return fmt.Errorf("iommu: unmap of unmapped iova %#x", va)
+		}
+		*e = pte{}
+	}
+	d.mappedPages -= int64(pages)
+	u.Unmappings++
+	return nil
+}
+
+// UnmapHuge removes a 2 MiB mapping.
+func (u *IOMMU) UnmapHuge(dev int, iova IOVA) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	d := u.domains[dev]
+	if d == nil {
+		return fmt.Errorf("iommu: device %d not attached", dev)
+	}
+	e := d.walkHuge(iova, false)
+	if e == nil || !e.present || !e.huge {
+		return fmt.Errorf("iommu: huge unmap of unmapped iova %#x", iova)
+	}
+	*e = pte{}
+	d.mappedPages -= int64(mem.HugePageSize / mem.PageSize)
+	u.Unmappings++
+	return nil
+}
+
+// walk descends to the leaf pte for iova, allocating interior nodes when
+// create is set. Returns nil if a level is missing and create is false.
+// Caller holds u.mu.
+func (d *Domain) walk(iova IOVA, create bool) *pte {
+	table := &d.root
+	for level := ptLevels - 1; level > 0; level-- {
+		e := &table[indexAt(iova, level)]
+		if e.present && e.huge {
+			// A huge leaf occupies this slot; 4 KiB walk stops here.
+			return e
+		}
+		if e.children == nil {
+			if !create {
+				return nil
+			}
+			e.children = new([ptFanout]pte)
+		}
+		table = e.children
+	}
+	return &table[indexAt(iova, 0)]
+}
+
+// walkHuge descends to the level-1 slot that would hold a 2 MiB leaf.
+func (d *Domain) walkHuge(iova IOVA, create bool) *pte {
+	table := &d.root
+	for level := ptLevels - 1; level > hugeLevel; level-- {
+		e := &table[indexAt(iova, level)]
+		if e.children == nil {
+			if !create {
+				return nil
+			}
+			e.children = new([ptFanout]pte)
+		}
+		table = e.children
+	}
+	return &table[indexAt(iova, hugeLevel)]
+}
+
+// lookup translates one IOVA page through the page tables only (no IOTLB).
+// Caller holds u.mu. Returns the physical address of iova and its perm.
+func (d *Domain) lookup(iova IOVA) (mem.PhysAddr, Perm, bool) {
+	e := d.walk(iova, false)
+	if e == nil || !e.present {
+		return 0, 0, false
+	}
+	if e.huge {
+		base := e.pfn.Addr()
+		off := mem.PhysAddr(iova & IOVA(mem.HugePageMask))
+		return base + off, e.perm, true
+	}
+	off := mem.PhysAddr(iova & IOVA(mem.PageMask))
+	return e.pfn.Addr() + off, e.perm, true
+}
+
+// MappedPages returns the number of currently mapped 4 KiB pages in the
+// device's domain.
+func (u *IOMMU) MappedPages(dev int) int64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if d := u.domains[dev]; d != nil {
+		return d.mappedPages
+	}
+	return 0
+}
+
+// EverMappedPages returns the cumulative count of pages ever mapped for the
+// device (the monotone curve of Fig 9).
+func (u *IOMMU) EverMappedPages(dev int) int64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if d := u.domains[dev]; d != nil {
+		return d.everMapped
+	}
+	return 0
+}

@@ -1,0 +1,99 @@
+package iova
+
+import (
+	"fmt"
+
+	"github.com/asplos18/damn/internal/iommu"
+)
+
+// DAMN IOVA encoding, after Figure 3 of the paper. Bit 47 is always 1
+// (marking the DAMN partition); the next fields identify the allocator the
+// buffer came from, so that dma_unmap and damn_free can dispatch on the
+// address alone:
+//
+//	 47      46..40    39..37   36..30   29..0
+//	+---+-----------+--------+---------+--------+
+//	| 1 |  cpu idx  | rights | dev idx | offset |
+//	+---+-----------+--------+---------+--------+
+//
+// 7 bits of CPU index cover 128 cores, 3 bits encode the access rights
+// (the iommu.Perm value), 7 bits of device index cover 128 DMA-capable
+// devices, and the remaining 30 bits give each (cpu, rights, dev)
+// combination a private 1 GiB IOVA region.
+//
+// This is exactly the property Table 3 penalises: because the metadata
+// lives in the *high* bits, buffers from different DMA caches land in
+// different 2 MiB huge-page regions, so the IOTLB covers the working set
+// with more entries than a dense layout would need.
+const (
+	cpuBits    = 7
+	rightsBits = 3
+	devBits    = 7
+	offsetBits = 30
+
+	offsetShift = 0
+	devShift    = offsetBits
+	rightsShift = devShift + devBits
+	cpuShift    = rightsShift + rightsBits
+
+	// OffsetSpace is the per-allocator region size (1 GiB).
+	OffsetSpace = uint64(1) << offsetBits
+
+	MaxCPU = 1<<cpuBits - 1
+	MaxDev = 1<<devBits - 1
+)
+
+// Encoded is a decoded DAMN IOVA.
+type Encoded struct {
+	CPU    int
+	Rights iommu.Perm
+	Dev    int
+	Offset uint64
+}
+
+// Encode builds a DAMN IOVA from allocator identity and region offset.
+func Encode(cpu int, rights iommu.Perm, dev int, offset uint64) (iommu.IOVA, error) {
+	if cpu < 0 || cpu > MaxCPU {
+		return 0, fmt.Errorf("iova: cpu %d out of encodable range", cpu)
+	}
+	if dev < 0 || dev > MaxDev {
+		return 0, fmt.Errorf("iova: dev %d out of encodable range", dev)
+	}
+	if rights == 0 || uint8(rights) >= 1<<rightsBits {
+		return 0, fmt.Errorf("iova: unencodable rights %v", rights)
+	}
+	if offset >= OffsetSpace {
+		return 0, fmt.Errorf("iova: offset %#x exceeds region size", offset)
+	}
+	v := DAMNBit |
+		iommu.IOVA(cpu)<<cpuShift |
+		iommu.IOVA(rights)<<rightsShift |
+		iommu.IOVA(dev)<<devShift |
+		iommu.IOVA(offset)
+	return v, nil
+}
+
+// IsDAMN reports whether the IOVA belongs to the DAMN partition; this is
+// the MSB test dma_unmap performs (§5.3) to decide whether to skip the
+// legacy unmap path.
+func IsDAMN(v iommu.IOVA) bool { return v&DAMNBit != 0 }
+
+// Decode splits a DAMN IOVA into its identity fields. ok is false if the
+// IOVA is not in the DAMN partition.
+func Decode(v iommu.IOVA) (Encoded, bool) {
+	if !IsDAMN(v) {
+		return Encoded{}, false
+	}
+	return Encoded{
+		CPU:    int(v >> cpuShift & (1<<cpuBits - 1)),
+		Rights: iommu.Perm(v >> rightsShift & (1<<rightsBits - 1)),
+		Dev:    int(v >> devShift & (1<<devBits - 1)),
+		Offset: uint64(v & (1<<offsetBits - 1)),
+	}, true
+}
+
+// RegionBase returns the base IOVA of the 1 GiB region belonging to the
+// given allocator identity.
+func RegionBase(cpu int, rights iommu.Perm, dev int) (iommu.IOVA, error) {
+	return Encode(cpu, rights, dev, 0)
+}

@@ -1,0 +1,190 @@
+package iova
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/asplos18/damn/internal/iommu"
+)
+
+func TestAllocTopDown(t *testing.T) {
+	a := NewAllocator(0x1000, 0x100000)
+	v1, err := a.Alloc(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := a.Alloc(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != 0xFF000 || v2 != 0xFE000 {
+		t.Fatalf("top-down allocation gave %#x, %#x", v1, v2)
+	}
+}
+
+func TestAllocRoundsToPages(t *testing.T) {
+	a := NewAllocator(0x1000, 0x100000)
+	v, err := a.Alloc(100) // rounds to 4 KiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SizeOf(v) != 0x1000 {
+		t.Fatalf("SizeOf = %#x, want page", a.SizeOf(v))
+	}
+}
+
+func TestFreeCoalesces(t *testing.T) {
+	a := NewAllocator(0x1000, 0x100000)
+	total := a.FreeBytes()
+	var vs []iommu.IOVA
+	for i := 0; i < 10; i++ {
+		v, err := a.Alloc(0x3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs = append(vs, v)
+	}
+	// Free in shuffled order.
+	order := []int{3, 7, 1, 9, 0, 5, 2, 8, 6, 4}
+	for _, i := range order {
+		if err := a.Free(vs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.FreeBytes() != total {
+		t.Fatalf("FreeBytes = %#x, want %#x", a.FreeBytes(), total)
+	}
+	// After full coalescing, one max-size allocation must succeed.
+	if _, err := a.Alloc(int(total)); err != nil {
+		t.Fatalf("full-space alloc after coalesce: %v", err)
+	}
+}
+
+func TestFreeUnknownFails(t *testing.T) {
+	a := NewAllocator(0x1000, 0x100000)
+	if err := a.Free(0x2000); err == nil {
+		t.Fatal("free of unallocated base should fail")
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	a := NewAllocator(0x1000, 0x5000) // 4 pages
+	for i := 0; i < 4; i++ {
+		if _, err := a.Alloc(0x1000); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := a.Alloc(0x1000); err == nil {
+		t.Fatal("expected exhaustion")
+	}
+}
+
+func TestAllocatorNoOverlap(t *testing.T) {
+	a := NewAllocator(0x1000, 0x200000)
+	rng := rand.New(rand.NewSource(3))
+	live := map[iommu.IOVA]int{}
+	for step := 0; step < 3000; step++ {
+		if len(live) == 0 || rng.Intn(3) > 0 {
+			size := (rng.Intn(8) + 1) * 0x1000
+			v, err := a.Alloc(size)
+			if err != nil {
+				continue
+			}
+			for b, s := range live {
+				if v < b+iommu.IOVA(s) && b < v+iommu.IOVA(size) {
+					t.Fatalf("overlap: [%#x,+%#x) with [%#x,+%#x)", v, size, b, s)
+				}
+			}
+			live[v] = size
+		} else {
+			for b := range live {
+				a.Free(b)
+				delete(live, b)
+				break
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	check := func(cpu uint8, rightsRaw uint8, dev uint8, offRaw uint32) bool {
+		c := int(cpu) % (MaxCPU + 1)
+		d := int(dev) % (MaxDev + 1)
+		rights := iommu.Perm(rightsRaw%3 + 1) // 1..3: R, W, RW
+		off := uint64(offRaw) % OffsetSpace
+		v, err := Encode(c, rights, d, off)
+		if err != nil {
+			return false
+		}
+		if !IsDAMN(v) {
+			return false
+		}
+		e, ok := Decode(v)
+		if !ok {
+			return false
+		}
+		return e.CPU == c && e.Rights == rights && e.Dev == d && e.Offset == off
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsBadInputs(t *testing.T) {
+	if _, err := Encode(MaxCPU+1, iommu.PermRead, 0, 0); err == nil {
+		t.Error("cpu overflow accepted")
+	}
+	if _, err := Encode(0, iommu.PermRead, MaxDev+1, 0); err == nil {
+		t.Error("dev overflow accepted")
+	}
+	if _, err := Encode(0, 0, 0, 0); err == nil {
+		t.Error("zero rights accepted")
+	}
+	if _, err := Encode(0, iommu.PermRead, 0, OffsetSpace); err == nil {
+		t.Error("offset overflow accepted")
+	}
+}
+
+func TestAPIAndDAMNSpacesDisjoint(t *testing.T) {
+	a := NewAPIAllocator()
+	for i := 0; i < 100; i++ {
+		v, err := a.Alloc(0x10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if IsDAMN(v) {
+			t.Fatalf("API allocator produced DAMN-partition IOVA %#x", v)
+		}
+	}
+	v, _ := Encode(5, iommu.PermWrite, 3, 0x1234000)
+	if !IsDAMN(v) {
+		t.Fatal("encoded IOVA must be in DAMN partition")
+	}
+}
+
+func TestRegionsDisjointAcrossIdentities(t *testing.T) {
+	// Distinct (cpu, rights, dev) triples must produce disjoint 1 GiB
+	// regions — this is what lets dma_unmap identify the allocator.
+	seen := map[iommu.IOVA]string{}
+	for cpu := 0; cpu < 4; cpu++ {
+		for _, rights := range []iommu.Perm{iommu.PermRead, iommu.PermWrite, iommu.PermRW} {
+			for dev := 0; dev < 4; dev++ {
+				base, err := RegionBase(cpu, rights, dev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if who, dup := seen[base]; dup {
+					t.Fatalf("region base %#x shared by two identities (%s)", base, who)
+				}
+				seen[base] = "seen"
+			}
+		}
+	}
+}
+
+func TestDecodeNonDAMN(t *testing.T) {
+	if _, ok := Decode(0x1234000); ok {
+		t.Fatal("non-DAMN IOVA decoded")
+	}
+}

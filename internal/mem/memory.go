@@ -1,0 +1,253 @@
+package mem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Memory is the simulated physical memory of one machine: a flat byte array
+// plus the page-struct array and per-NUMA-node buddy zones. It is safe for
+// concurrent use; the buddy zones serialize internally.
+type Memory struct {
+	data  []byte
+	pages []Page
+	zones []*Zone
+
+	// Counters for the evaluation harness (Fig 9 / Fig 10).
+	allocatedPages atomic.Int64
+	zeroedBytes    atomic.Int64
+
+	// Memory-pressure reclaim (§5.4's shrinker interface).
+	shrinkers      shrinkerRegistry
+	reclaimRuns    atomic.Int64
+	reclaimedPages atomic.Int64
+}
+
+// Config describes the machine memory layout.
+type Config struct {
+	// TotalBytes of simulated RAM. Rounded down to a page multiple.
+	TotalBytes int64
+	// NUMANodes is the number of memory nodes; frames are split evenly
+	// into contiguous per-node ranges, matching a dual-socket server.
+	NUMANodes int
+}
+
+// DefaultConfig models the paper's evaluation server: 128 GiB would be
+// wasteful to back with real bytes, so tests use smaller memories; the
+// evaluation harness sizes memory to the working set it actually touches.
+func DefaultConfig() Config {
+	return Config{TotalBytes: 512 << 20, NUMANodes: 2}
+}
+
+// New constructs a Memory. Frame 0 is reserved (a NULL physical address is
+// never handed out), as on real hardware where low memory is firmware-owned.
+func New(cfg Config) (*Memory, error) {
+	if cfg.NUMANodes <= 0 {
+		cfg.NUMANodes = 1
+	}
+	nPages := int(cfg.TotalBytes >> PageShift)
+	if nPages < cfg.NUMANodes*2 {
+		return nil, fmt.Errorf("mem: %d bytes is too small for %d NUMA nodes", cfg.TotalBytes, cfg.NUMANodes)
+	}
+	m := &Memory{
+		data:  make([]byte, nPages<<PageShift),
+		pages: make([]Page, nPages),
+		zones: make([]*Zone, cfg.NUMANodes),
+	}
+	perNode := nPages / cfg.NUMANodes
+	for i := range m.pages {
+		node := i / perNode
+		if node >= cfg.NUMANodes {
+			node = cfg.NUMANodes - 1
+		}
+		m.pages[i].pfn = PFN(i)
+		m.pages[i].Node = node
+	}
+	// Reserve frame 0.
+	m.pages[0].SetFlags(FlagReserved)
+	for n := 0; n < cfg.NUMANodes; n++ {
+		start := PFN(n * perNode)
+		end := PFN((n + 1) * perNode)
+		if n == cfg.NUMANodes-1 {
+			end = PFN(nPages)
+		}
+		if n == 0 {
+			start = 1 // skip reserved frame 0
+		}
+		m.zones[n] = newZone(m, n, start, end)
+	}
+	return m, nil
+}
+
+// NumPages returns the number of physical frames.
+func (m *Memory) NumPages() int { return len(m.pages) }
+
+// NumNodes returns the number of NUMA nodes.
+func (m *Memory) NumNodes() int { return len(m.zones) }
+
+// PageOf returns the page struct for a frame number.
+func (m *Memory) PageOf(pfn PFN) *Page {
+	return &m.pages[pfn]
+}
+
+// PageOfAddr returns the page struct covering a physical address.
+func (m *Memory) PageOfAddr(pa PhysAddr) *Page { return m.PageOf(PFNOf(pa)) }
+
+// CheckRange validates that [pa, pa+n) lies inside simulated RAM.
+func (m *Memory) CheckRange(pa PhysAddr, n int) error {
+	if n < 0 || uint64(pa)+uint64(n) > uint64(len(m.data)) {
+		return fmt.Errorf("mem: physical range [%#x,+%d) out of bounds (RAM is %d bytes)", pa, n, len(m.data))
+	}
+	return nil
+}
+
+// Bytes returns the live byte slice backing [pa, pa+n). Callers are kernel
+// code or post-IOMMU device accesses; bounds are enforced.
+func (m *Memory) Bytes(pa PhysAddr, n int) []byte {
+	if err := m.CheckRange(pa, n); err != nil {
+		panic(err)
+	}
+	return m.data[pa:PhysAddr(uint64(pa)+uint64(n))]
+}
+
+// Read copies n bytes at pa into dst and returns the count.
+func (m *Memory) Read(pa PhysAddr, dst []byte) int {
+	return copy(dst, m.Bytes(pa, len(dst)))
+}
+
+// Write copies src into memory at pa and returns the count.
+func (m *Memory) Write(pa PhysAddr, src []byte) int {
+	return copy(m.Bytes(pa, len(src)), src)
+}
+
+// Zero clears [pa, pa+n). DAMN zeroes every chunk it takes from the page
+// allocator (§5.6 TX security argument), and the counter lets tests assert
+// that it really happened.
+func (m *Memory) Zero(pa PhysAddr, n int) {
+	b := m.Bytes(pa, n)
+	for i := range b {
+		b[i] = 0
+	}
+	m.zeroedBytes.Add(int64(n))
+}
+
+// ZeroedBytes reports the cumulative number of bytes zeroed.
+func (m *Memory) ZeroedBytes() int64 { return m.zeroedBytes.Load() }
+
+// AllocatedPages reports the number of pages currently held by callers.
+func (m *Memory) AllocatedPages() int64 { return m.allocatedPages.Load() }
+
+// AllocPages allocates 2^order physically contiguous frames on the given
+// NUMA node (falling back to other nodes if the preferred one is exhausted)
+// and returns the head page struct. The block is returned as a compound
+// page when order > 0, mirroring __GFP_COMP which network buffer
+// allocations use and which DAMN's metadata scheme (§5.5) depends on.
+func (m *Memory) AllocPages(order int, node int) (*Page, error) {
+	if order < 0 || order > MaxOrder {
+		return nil, fmt.Errorf("mem: bad order %d", order)
+	}
+	if node < 0 || node >= len(m.zones) {
+		node = 0
+	}
+	for round := 0; round < 2; round++ {
+		for attempt := 0; attempt < len(m.zones); attempt++ {
+			z := m.zones[(node+attempt)%len(m.zones)]
+			if pfn, ok := z.alloc(order); ok {
+				m.allocatedPages.Add(1 << order)
+				head := m.PageOf(pfn)
+				m.makeCompound(head, order)
+				return head, nil
+			}
+		}
+		// Memory pressure: ask the registered caches (DAMN's DMA
+		// caches among them) to give pages back, then retry once.
+		if round == 0 && m.reclaim() == 0 {
+			break
+		}
+	}
+	return nil, fmt.Errorf("mem: out of memory allocating order-%d block on node %d", order, node)
+}
+
+// FreePages returns a block previously obtained from AllocPages.
+func (m *Memory) FreePages(head *Page, order int) {
+	if head.Has(FlagBuddy) {
+		panic(fmt.Sprintf("mem: double free of pfn %d", head.pfn))
+	}
+	m.breakCompound(head, order)
+	m.allocatedPages.Add(-(1 << order))
+	m.zones[head.Node].free(head.pfn, order)
+}
+
+// makeCompound links 2^order pages into a compound: head gets FlagHead and
+// the order; tails get FlagTail and a pointer to the head.
+func (m *Memory) makeCompound(head *Page, order int) {
+	head.Order = uint8(order)
+	head.SetRefCount(1)
+	if order == 0 {
+		return
+	}
+	head.SetFlags(FlagHead)
+	for i := 1; i < 1<<order; i++ {
+		t := m.PageOf(head.pfn + PFN(i))
+		t.SetFlags(FlagTail)
+		t.HeadPFN = head.pfn
+		t.Private = 0
+	}
+}
+
+// breakCompound dissolves the compound linkage before the block re-enters
+// the buddy system.
+func (m *Memory) breakCompound(head *Page, order int) {
+	head.ClearFlags(FlagHead)
+	head.Order = 0
+	head.SetRefCount(0)
+	for i := 1; i < 1<<order; i++ {
+		t := m.PageOf(head.pfn + PFN(i))
+		t.ClearFlags(FlagTail | FlagDAMN)
+		t.HeadPFN = 0
+		t.Private = 0
+	}
+}
+
+// SplitCompound re-forms one order-`order` compound block into
+// 2^(order-sub) independent compounds of order sub, returning their heads.
+// The caller must own the block. Used by DAMN's dense-huge-IOVA variant to
+// carve a 2 MiB superblock into 64 KiB chunks that each keep their own
+// head-page refcount and tail-page metadata.
+func (m *Memory) SplitCompound(head *Page, order, sub int) []*Page {
+	if sub > order {
+		panic(fmt.Sprintf("mem: cannot split order %d into order %d", order, sub))
+	}
+	m.breakCompound(head, order)
+	n := 1 << (order - sub)
+	heads := make([]*Page, 0, n)
+	for i := 0; i < n; i++ {
+		h := m.PageOf(head.pfn + PFN(i<<sub))
+		m.makeCompound(h, sub)
+		heads = append(heads, h)
+	}
+	return heads
+}
+
+// Head resolves a page to its compound head (itself if not a tail).
+func (m *Memory) Head(p *Page) *Page {
+	if p.IsCompoundTail() {
+		return m.PageOf(p.HeadPFN)
+	}
+	return p
+}
+
+// FreePagesInZone reports the free frame count on a node (for tests and the
+// shrinker pressure model).
+func (m *Memory) FreePagesInZone(node int) int64 {
+	return m.zones[node].freePages()
+}
+
+// TotalFreePages reports free frames across all nodes.
+func (m *Memory) TotalFreePages() int64 {
+	var n int64
+	for _, z := range m.zones {
+		n += z.freePages()
+	}
+	return n
+}

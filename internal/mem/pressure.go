@@ -1,0 +1,45 @@
+package mem
+
+import "sync"
+
+// Shrinker support — the interface §5.4 of the paper points at ("modern
+// OSes provide a standard interface for the OS to request a cache to
+// release memory back to the system if memory pressure occurs", citing the
+// Linux shrinker). Subsystems that cache pages (DAMN's DMA caches, most
+// prominently) register a callback; when the buddy allocator cannot satisfy
+// a request, the shrinkers run and the allocation retries.
+
+// ShrinkFunc releases cached memory and returns the number of pages freed.
+type ShrinkFunc func() int64
+
+type shrinkerRegistry struct {
+	mu  sync.Mutex
+	fns []ShrinkFunc
+}
+
+// RegisterShrinker adds a reclaim callback.
+func (m *Memory) RegisterShrinker(fn ShrinkFunc) {
+	m.shrinkers.mu.Lock()
+	defer m.shrinkers.mu.Unlock()
+	m.shrinkers.fns = append(m.shrinkers.fns, fn)
+}
+
+// reclaim runs every shrinker and reports the pages released.
+func (m *Memory) reclaim() int64 {
+	m.shrinkers.mu.Lock()
+	fns := append([]ShrinkFunc(nil), m.shrinkers.fns...)
+	m.shrinkers.mu.Unlock()
+	var total int64
+	for _, fn := range fns {
+		total += fn()
+	}
+	m.reclaimRuns.Add(1)
+	m.reclaimedPages.Add(total)
+	return total
+}
+
+// ReclaimRuns reports how many times memory pressure invoked the shrinkers.
+func (m *Memory) ReclaimRuns() int64 { return m.reclaimRuns.Load() }
+
+// ReclaimedPages reports the cumulative pages released under pressure.
+func (m *Memory) ReclaimedPages() int64 { return m.reclaimedPages.Load() }

@@ -1,0 +1,161 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSlabAllocAligned(t *testing.T) {
+	m := newTestMemory(t, 16<<20, 1)
+	s := NewSlab(m)
+	for _, size := range []int{1, 8, 9, 100, 500, 4096} {
+		pa, err := s.Alloc(size, 0)
+		if err != nil {
+			t.Fatalf("Alloc(%d): %v", size, err)
+		}
+		if pa%8 != 0 {
+			t.Errorf("Alloc(%d) = %#x, not 8-byte aligned", size, pa)
+		}
+		s.Free(pa)
+	}
+}
+
+func TestSlabCoLocation(t *testing.T) {
+	// This is the property the paper's §4.1 exploits: two unrelated
+	// kmalloc objects can land on the same physical page, so
+	// page-granularity IOMMU mappings leak neighbours.
+	m := newTestMemory(t, 16<<20, 1)
+	s := NewSlab(m)
+	a, err := s.Alloc(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Alloc(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PFNOf(a) != PFNOf(b) {
+		t.Fatalf("consecutive 256 B allocations on different pages (%d vs %d); co-location property broken", PFNOf(a), PFNOf(b))
+	}
+	s.Free(a)
+	s.Free(b)
+}
+
+func TestSlabLargeAllocation(t *testing.T) {
+	m := newTestMemory(t, 32<<20, 1)
+	s := NewSlab(m)
+	pa, err := s.Alloc(3*PageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa&PageMask != 0 {
+		t.Errorf("large alloc %#x not page aligned", pa)
+	}
+	// A 3-page request rounds to an order-2 block.
+	if got := s.BytesAllocated(); got != 4*PageSize {
+		t.Errorf("BytesAllocated = %d, want %d", got, 4*PageSize)
+	}
+	s.Free(pa)
+	if got := s.BytesAllocated(); got != 0 {
+		t.Errorf("BytesAllocated after free = %d, want 0", got)
+	}
+}
+
+func TestSlabPageRecycled(t *testing.T) {
+	m := newTestMemory(t, 8<<20, 1)
+	s := NewSlab(m)
+	free0 := m.TotalFreePages()
+	var addrs []PhysAddr
+	for i := 0; i < PageSize/64; i++ { // fill exactly one 64 B slab page
+		pa, err := s.Alloc(64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, pa)
+	}
+	if m.TotalFreePages() != free0-1 {
+		t.Fatalf("expected exactly one backing page, free delta = %d", free0-m.TotalFreePages())
+	}
+	for _, pa := range addrs {
+		s.Free(pa)
+	}
+	if m.TotalFreePages() != free0 {
+		t.Fatal("empty slab page not returned to buddy allocator")
+	}
+}
+
+func TestSlabDoubleFreePanics(t *testing.T) {
+	m := newTestMemory(t, 8<<20, 1)
+	s := NewSlab(m)
+	pa, _ := s.Alloc(64, 0)
+	s.Free(pa)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	s.Free(pa)
+}
+
+func TestSlabDistinctAddresses(t *testing.T) {
+	// Property test: any sequence of allocation sizes yields pairwise
+	// non-overlapping objects.
+	m := newTestMemory(t, 64<<20, 1)
+	s := NewSlab(m)
+	check := func(sizes []uint16) bool {
+		type span struct{ lo, hi PhysAddr }
+		var spans []span
+		var addrs []PhysAddr
+		for _, raw := range sizes {
+			size := int(raw)%2048 + 1
+			pa, err := s.Alloc(size, 0)
+			if err != nil {
+				return false
+			}
+			for _, sp := range spans {
+				if pa < sp.hi && sp.lo < pa+PhysAddr(size) {
+					return false
+				}
+			}
+			spans = append(spans, span{pa, pa + PhysAddr(size)})
+			addrs = append(addrs, pa)
+		}
+		for _, pa := range addrs {
+			s.Free(pa)
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlabStress(t *testing.T) {
+	m := newTestMemory(t, 32<<20, 2)
+	s := NewSlab(m)
+	rng := rand.New(rand.NewSource(7))
+	live := map[PhysAddr]int{}
+	for i := 0; i < 10000; i++ {
+		if len(live) == 0 || rng.Intn(3) > 0 {
+			size := rng.Intn(8192) + 1
+			pa, err := s.Alloc(size, rng.Intn(2))
+			if err != nil {
+				continue
+			}
+			live[pa] = size
+		} else {
+			for pa := range live {
+				s.Free(pa)
+				delete(live, pa)
+				break
+			}
+		}
+	}
+	for pa := range live {
+		s.Free(pa)
+	}
+	if got := s.BytesAllocated(); got != 0 {
+		t.Fatalf("leaked %d bytes", got)
+	}
+}

@@ -1,0 +1,151 @@
+package netstack
+
+import (
+	"fmt"
+
+	"github.com/asplos18/damn/internal/device"
+	"github.com/asplos18/damn/internal/dmaapi"
+	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/mem"
+	"github.com/asplos18/damn/internal/perf"
+	"github.com/asplos18/damn/internal/sim"
+)
+
+// Driver is the NIC driver: it keeps RX rings filled with mapped buffers,
+// turns completions into skbuffs, and maps/puts TX skbuffs on the wire.
+// Its allocation switch is the paper's 2-line driver change (§5.7): with
+// DAMN deployed, RX buffers come from damn_alloc; otherwise from the
+// ordinary kernel allocator via the DMA API's active scheme.
+type Driver struct {
+	k   *Kernel
+	nic *device.NIC
+
+	// RxBufSize is the posted receive buffer size (64 KiB: one LRO
+	// segment per buffer).
+	RxBufSize int
+
+	// OnDeliver is the stack entry point for received skbs.
+	OnDeliver func(t *sim.Task, ring int, skb *SKBuff)
+	// OnTxDone notifies the sending flow that a segment left the wire
+	// (the ACK-clocked window opener).
+	OnTxDone func(t *sim.Task, ring int, skb *SKBuff)
+
+	// Stats.
+	RxDelivered uint64
+	RxDropped   uint64 // completions with DMA faults
+	TxCompleted uint64
+}
+
+// rxBuf is the driver's per-posted-buffer state, carried through the ring
+// as the descriptor cookie.
+type rxBuf struct {
+	pa   mem.PhysAddr
+	iova iommu.IOVA
+	damn bool
+}
+
+// NewDriver wires a driver to its NIC.
+func NewDriver(k *Kernel, nic *device.NIC) *Driver {
+	d := &Driver{k: k, nic: nic, RxBufSize: k.Model.SegmentSize}
+	nic.OnRX(d.handleRX)
+	nic.OnTXComplete(d.handleTXComplete)
+	return d
+}
+
+// NIC returns the underlying device.
+func (d *Driver) NIC() *device.NIC { return d.nic }
+
+// FillRing posts buffers until the RX ring is full.
+func (d *Driver) FillRing(t *sim.Task, ring int) error {
+	for d.nic.RXPosted(ring) < d.nic.Cfg.RingSize {
+		if err := d.postOne(t, ring); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Driver) postOne(t *sim.Task, ring int) error {
+	perf.Charge(t, d.k.Model.SkbAllocCycles)
+	pa, damnOwned, err := d.k.AllocBuffer(t, d.nic.ID(), iommu.PermWrite, d.RxBufSize)
+	if err != nil {
+		return fmt.Errorf("netstack: RX buffer allocation: %w", err)
+	}
+	v, err := d.k.DMA.Map(t, d.nic.ID(), pa, d.RxBufSize, dmaapi.FromDevice)
+	if err != nil {
+		d.k.FreeBuffer(t, pa, damnOwned)
+		return fmt.Errorf("netstack: RX buffer map: %w", err)
+	}
+	return d.nic.PostRX(ring, device.RXDesc{
+		IOVA: v, Size: d.RxBufSize,
+		Cookie: &rxBuf{pa: pa, iova: v, damn: damnOwned},
+	})
+}
+
+// handleRX runs in interrupt context on the ring's core.
+func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
+	for _, comp := range comps {
+		rb := comp.Desc.Cookie.(*rxBuf)
+		// dma_unmap returns ownership to the kernel. For shadow
+		// buffers this performs the copy-back; for DAMN it is the MSB
+		// no-op; for strict it invalidates.
+		if err := d.k.DMA.Unmap(t, d.nic.ID(), rb.iova, d.RxBufSize, dmaapi.FromDevice); err != nil {
+			panic("netstack: RX unmap failed: " + err.Error())
+		}
+		// Replenish the ring before handing the packet up, as drivers
+		// do, so the NIC keeps receiving while the stack works.
+		if err := d.postOne(t, ring); err != nil {
+			// Out of buffers: the ring shrinks; the NIC will park
+			// traffic (flow control) until memory frees up.
+			d.RxDropped++
+		}
+		if comp.Written == 0 && comp.Seg.Len > 0 && len(comp.Seg.Header) > 0 {
+			// The DMA faulted (attack or misconfiguration): no
+			// packet to deliver; recycle the buffer.
+			d.k.FreeBuffer(t, rb.pa, rb.damn)
+			d.RxDropped++
+			continue
+		}
+		skb := AdoptBuffer(d.k, d.nic.ID(), iommu.PermWrite, rb.pa, d.RxBufSize, rb.damn)
+		skb.SetReceived(comp.Seg.Len, comp.Written)
+		skb.Flow = comp.Seg.Flow
+		d.RxDelivered++
+		if d.OnDeliver != nil {
+			d.OnDeliver(t, ring, skb)
+		} else {
+			skb.Free(t)
+		}
+	}
+}
+
+// Transmit maps an skb and hands it to the NIC (TSO: the whole ≤64 KiB
+// segment goes down at once).
+func (d *Driver) Transmit(t *sim.Task, ring, port int, skb *SKBuff) error {
+	v, err := skb.MapForDevice(t, dmaapi.ToDevice)
+	if err != nil {
+		return err
+	}
+	err = d.nic.PostTX(ring, port, device.TXDesc{IOVA: v, Size: skb.Len(), Cookie: skb})
+	if err != nil {
+		skb.UnmapForDevice(t, dmaapi.ToDevice)
+		return err
+	}
+	return nil
+}
+
+// handleTXComplete runs in interrupt context after the segment is on the
+// wire.
+func (d *Driver) handleTXComplete(t *sim.Task, ring int, descs []device.TXDesc) {
+	for _, desc := range descs {
+		skb := desc.Cookie.(*SKBuff)
+		if err := skb.UnmapForDevice(t, dmaapi.ToDevice); err != nil {
+			panic("netstack: TX unmap failed: " + err.Error())
+		}
+		d.TxCompleted++
+		if d.OnTxDone != nil {
+			d.OnTxDone(t, ring, skb)
+		} else {
+			skb.Free(t)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package netstack
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Wire-format packet headers. The traffic generators materialise real
+// Ethernet/IPv4/TCP headers in every segment, so firewall hooks and the
+// TOCTTOU scenarios operate on genuine protocol bytes — the "headers" DAMN
+// copies on first access are the real thing.
+
+// Header sizes.
+const (
+	EthHeaderLen  = 14
+	IPv4HeaderLen = 20
+	TCPHeaderLen  = 20
+	// HeaderLen is the full stack of headers on a generated segment.
+	HeaderLen = EthHeaderLen + IPv4HeaderLen + TCPHeaderLen
+)
+
+// EtherType values.
+const EtherTypeIPv4 = 0x0800
+
+// EthHeader is an Ethernet II header.
+type EthHeader struct {
+	Dst       [6]byte
+	Src       [6]byte
+	EtherType uint16
+}
+
+// Marshal appends the wire form to b.
+func (h EthHeader) Marshal(b []byte) []byte {
+	b = append(b, h.Dst[:]...)
+	b = append(b, h.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, h.EtherType)
+}
+
+// ParseEth decodes an Ethernet header.
+func ParseEth(b []byte) (EthHeader, error) {
+	var h EthHeader
+	if len(b) < EthHeaderLen {
+		return h, fmt.Errorf("netstack: short ethernet header (%d bytes)", len(b))
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return h, nil
+}
+
+// IPv4Header is a minimal (option-less) IPv4 header.
+type IPv4Header struct {
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Src      netip.Addr
+	Dst      netip.Addr
+}
+
+// IP protocol numbers.
+const IPProtoTCP = 6
+
+// Marshal appends the wire form (with a valid header checksum) to b.
+func (h IPv4Header) Marshal(b []byte) []byte {
+	start := len(b)
+	b = append(b, 0x45, 0) // version 4, IHL 5, DSCP 0
+	b = binary.BigEndian.AppendUint16(b, h.TotalLen)
+	b = binary.BigEndian.AppendUint16(b, h.ID)
+	b = binary.BigEndian.AppendUint16(b, 0) // no fragmentation
+	b = append(b, h.TTL, h.Protocol, 0, 0)  // checksum placeholder
+	src := h.Src.As4()
+	dst := h.Dst.As4()
+	b = append(b, src[:]...)
+	b = append(b, dst[:]...)
+	sum := ipChecksum(b[start : start+IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[start+10:start+12], sum)
+	return b
+}
+
+// ParseIPv4 decodes and checks an IPv4 header.
+func ParseIPv4(b []byte) (IPv4Header, error) {
+	var h IPv4Header
+	if len(b) < IPv4HeaderLen {
+		return h, fmt.Errorf("netstack: short IPv4 header (%d bytes)", len(b))
+	}
+	if b[0]>>4 != 4 {
+		return h, fmt.Errorf("netstack: not IPv4 (version %d)", b[0]>>4)
+	}
+	if ipChecksum(b[:IPv4HeaderLen]) != 0 {
+		return h, fmt.Errorf("netstack: IPv4 header checksum mismatch")
+	}
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Src = netip.AddrFrom4([4]byte(b[12:16]))
+	h.Dst = netip.AddrFrom4([4]byte(b[16:20]))
+	return h, nil
+}
+
+// ipChecksum is the RFC 1071 ones-complement sum. Computing it over a
+// header whose checksum field holds the transmitted value yields 0 for a
+// valid header.
+func ipChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// TCPHeader is a minimal (option-less) TCP header.
+type TCPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+}
+
+// TCP flag bits.
+const (
+	TCPFlagFIN = 1 << 0
+	TCPFlagSYN = 1 << 1
+	TCPFlagRST = 1 << 2
+	TCPFlagPSH = 1 << 3
+	TCPFlagACK = 1 << 4
+)
+
+// Marshal appends the wire form to b (checksum left zero: large receive
+// offload hardware verifies and strips it, which is the configuration the
+// evaluation uses).
+func (h TCPHeader) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = binary.BigEndian.AppendUint32(b, h.Seq)
+	b = binary.BigEndian.AppendUint32(b, h.Ack)
+	b = append(b, 5<<4, h.Flags) // data offset 5 words
+	b = binary.BigEndian.AppendUint16(b, h.Window)
+	b = append(b, 0, 0, 0, 0) // checksum + urgent
+	return b
+}
+
+// ParseTCP decodes a TCP header.
+func ParseTCP(b []byte) (TCPHeader, error) {
+	var h TCPHeader
+	if len(b) < TCPHeaderLen {
+		return h, fmt.Errorf("netstack: short TCP header (%d bytes)", len(b))
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Seq = binary.BigEndian.Uint32(b[4:8])
+	h.Ack = binary.BigEndian.Uint32(b[8:12])
+	h.Flags = b[13]
+	h.Window = binary.BigEndian.Uint16(b[14:16])
+	return h, nil
+}
+
+// Packet is a parsed header stack.
+type Packet struct {
+	Eth EthHeader
+	IP  IPv4Header
+	TCP TCPHeader
+}
+
+// BuildHeaders marshals a full Ethernet+IPv4+TCP header stack for a
+// segment carrying payloadLen bytes of TCP payload.
+func BuildHeaders(src, dst netip.Addr, srcPort, dstPort uint16, seq uint32, payloadLen int) []byte {
+	b := make([]byte, 0, HeaderLen)
+	b = EthHeader{
+		Dst:       [6]byte{0x02, 0, 0, 0, 0, 2},
+		Src:       [6]byte{0x02, 0, 0, 0, 0, 1},
+		EtherType: EtherTypeIPv4,
+	}.Marshal(b)
+	b = IPv4Header{
+		TotalLen: uint16(IPv4HeaderLen + TCPHeaderLen + min(payloadLen, 0xFFFF-IPv4HeaderLen-TCPHeaderLen)),
+		TTL:      64,
+		Protocol: IPProtoTCP,
+		Src:      src,
+		Dst:      dst,
+	}.Marshal(b)
+	b = TCPHeader{
+		SrcPort: srcPort, DstPort: dstPort,
+		Seq: seq, Flags: TCPFlagACK | TCPFlagPSH, Window: 0xFFFF,
+	}.Marshal(b)
+	return b
+}
+
+// ParsePacket decodes the full header stack (what a firewall hook does with
+// the bytes it obtained through skb.Access).
+func ParsePacket(b []byte) (Packet, error) {
+	var p Packet
+	eth, err := ParseEth(b)
+	if err != nil {
+		return p, err
+	}
+	if eth.EtherType != EtherTypeIPv4 {
+		return p, fmt.Errorf("netstack: not IPv4 (ethertype %#x)", eth.EtherType)
+	}
+	ip, err := ParseIPv4(b[EthHeaderLen:])
+	if err != nil {
+		return p, err
+	}
+	if ip.Protocol != IPProtoTCP {
+		return p, fmt.Errorf("netstack: not TCP (proto %d)", ip.Protocol)
+	}
+	tcp, err := ParseTCP(b[EthHeaderLen+IPv4HeaderLen:])
+	if err != nil {
+		return p, err
+	}
+	return Packet{Eth: eth, IP: ip, TCP: tcp}, nil
+}

@@ -1,0 +1,96 @@
+package netstack
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	src := netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	dst := netip.AddrFrom4([4]byte{10, 0, 0, 2})
+	b := BuildHeaders(src, dst, 33333, 80, 0x11223344, 9000)
+	if len(b) != HeaderLen {
+		t.Fatalf("header stack length %d, want %d", len(b), HeaderLen)
+	}
+	p, err := ParsePacket(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IP.Src != src || p.IP.Dst != dst {
+		t.Fatalf("addresses %v -> %v", p.IP.Src, p.IP.Dst)
+	}
+	if p.TCP.SrcPort != 33333 || p.TCP.DstPort != 80 {
+		t.Fatalf("ports %d -> %d", p.TCP.SrcPort, p.TCP.DstPort)
+	}
+	if p.TCP.Seq != 0x11223344 {
+		t.Fatalf("seq %#x", p.TCP.Seq)
+	}
+	if p.TCP.Flags&TCPFlagACK == 0 {
+		t.Fatal("ACK flag missing")
+	}
+	if p.IP.TTL != 64 || p.IP.Protocol != IPProtoTCP {
+		t.Fatalf("ip fields: ttl=%d proto=%d", p.IP.TTL, p.IP.Protocol)
+	}
+}
+
+func TestHeaderQuickRoundTrip(t *testing.T) {
+	check := func(s, d [4]byte, sp, dp uint16, seq uint32, plen uint16) bool {
+		src, dst := netip.AddrFrom4(s), netip.AddrFrom4(d)
+		b := BuildHeaders(src, dst, sp, dp, seq, int(plen))
+		p, err := ParsePacket(b)
+		if err != nil {
+			return false
+		}
+		return p.IP.Src == src && p.IP.Dst == dst &&
+			p.TCP.SrcPort == sp && p.TCP.DstPort == dp && p.TCP.Seq == seq
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv4ChecksumDetectsCorruption(t *testing.T) {
+	src := netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	dst := netip.AddrFrom4([4]byte{10, 0, 0, 2})
+	b := BuildHeaders(src, dst, 1, 2, 3, 100)
+	// A TOCTTOU attacker flips the source address; the checksum catches
+	// it unless the attacker also fixes the checksum.
+	b[EthHeaderLen+12] ^= 0xFF
+	if _, err := ParseIPv4(b[EthHeaderLen:]); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestParseShortBuffers(t *testing.T) {
+	if _, err := ParseEth(make([]byte, 5)); err == nil {
+		t.Error("short ethernet accepted")
+	}
+	if _, err := ParseIPv4(make([]byte, 10)); err == nil {
+		t.Error("short IPv4 accepted")
+	}
+	if _, err := ParseTCP(make([]byte, 10)); err == nil {
+		t.Error("short TCP accepted")
+	}
+	if _, err := ParsePacket(make([]byte, HeaderLen-1)); err == nil {
+		t.Error("short packet accepted")
+	}
+}
+
+func TestParseRejectsNonIPv4(t *testing.T) {
+	b := EthHeader{EtherType: 0x86DD /* IPv6 */}.Marshal(nil)
+	b = append(b, make([]byte, 40)...)
+	if _, err := ParsePacket(b); err == nil {
+		t.Fatal("IPv6 ethertype accepted as IPv4")
+	}
+}
+
+func TestParseRejectsNonTCP(t *testing.T) {
+	src := netip.AddrFrom4([4]byte{1, 2, 3, 4})
+	b := EthHeader{EtherType: EtherTypeIPv4}.Marshal(nil)
+	b = IPv4Header{TotalLen: 40, TTL: 64, Protocol: 17 /* UDP */, Src: src, Dst: src}.Marshal(b)
+	b = append(b, make([]byte, TCPHeaderLen)...)
+	if _, err := ParsePacket(b); err == nil {
+		t.Fatal("UDP accepted as TCP")
+	}
+}

@@ -1,0 +1,74 @@
+// Package netstack is the miniature Linux networking subsystem of the
+// reproduction: skbuffs with the accessor API that DAMN's TOCTTOU defence
+// interposes on (§5.2), the NIC driver (RX ring management, TX mapping),
+// stream senders/receivers with socket-buffer flow control (the TCP-lite
+// data path netperf exercises), and netfilter hooks.
+//
+// Deployment mirrors §5.7: __alloc_skb takes a device argument; a nil
+// device (Dev < 0) falls back to the ordinary kernel allocator, and
+// DAMN-aware flows call DmaAllocSKB with the device from their socket.
+package netstack
+
+import (
+	"github.com/asplos18/damn/internal/damn"
+	"github.com/asplos18/damn/internal/dmaapi"
+	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/mem"
+	"github.com/asplos18/damn/internal/perf"
+	"github.com/asplos18/damn/internal/sim"
+)
+
+// Kernel bundles the machine's kernel-side services the stack needs.
+type Kernel struct {
+	Sim   *sim.Engine
+	Mem   *mem.Memory
+	Slab  *mem.Slab
+	IOMMU *iommu.IOMMU
+	DMA   *dmaapi.Engine
+	// Damn is nil when DAMN is not deployed (baseline schemes).
+	Damn  *damn.DAMN
+	Model *perf.Model
+	MemBW *sim.MemController
+	Cores []*sim.Core
+
+	Netfilter Netfilter
+}
+
+// UseDamn reports whether the DAMN allocator is deployed.
+func (k *Kernel) UseDamn() bool { return k.Damn != nil }
+
+// Ctx derives a DAMN allocation context from a simulated task.
+func (k *Kernel) Ctx(t *sim.Task) damn.Ctx {
+	if t == nil {
+		return damn.Ctx{}
+	}
+	return damn.Ctx{C: t, CPU: t.Core().ID, IRQ: t.Interrupt}
+}
+
+// AllocBuffer allocates a raw packet buffer for a device: from DAMN when
+// deployed and dev is real, otherwise from the ordinary kernel allocator
+// (which is exactly the co-location hazard of §4.1 for the legacy schemes).
+// Returns the buffer address and whether it is DAMN-owned.
+func (k *Kernel) AllocBuffer(t *sim.Task, dev int, rights iommu.Perm, size int) (mem.PhysAddr, bool, error) {
+	if k.UseDamn() && dev >= 0 {
+		pa, err := k.Damn.Alloc(k.Ctx(t), dev, rights, size)
+		return pa, true, err
+	}
+	node := 0
+	if t != nil {
+		node = t.Core().Node
+	}
+	pa, err := k.Slab.Alloc(size, node)
+	return pa, false, err
+}
+
+// FreeBuffer releases a buffer from AllocBuffer.
+func (k *Kernel) FreeBuffer(t *sim.Task, pa mem.PhysAddr, damnOwned bool) {
+	if damnOwned {
+		if err := k.Damn.Free(k.Ctx(t), pa); err != nil {
+			panic("netstack: damn free failed: " + err.Error())
+		}
+		return
+	}
+	k.Slab.Free(pa)
+}

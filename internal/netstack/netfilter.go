@@ -1,0 +1,36 @@
+package netstack
+
+import "github.com/asplos18/damn/internal/sim"
+
+// Verdict is a netfilter hook decision.
+type Verdict int
+
+const (
+	// Accept lets the packet continue up the stack.
+	Accept Verdict = iota
+	// Drop discards it.
+	Drop
+)
+
+// Hook inspects a received segment (after LRO reassembly, as in §6.2's
+// XOR benchmark). Hooks access packet bytes only through the skb
+// accessors, which is what lets DAMN protect them from TOCTTOU.
+type Hook func(t *sim.Task, skb *SKBuff) Verdict
+
+// Netfilter is the hook registry.
+type Netfilter struct {
+	hooks []Hook
+}
+
+// Register appends a hook.
+func (nf *Netfilter) Register(h Hook) { nf.hooks = append(nf.hooks, h) }
+
+// Run applies all hooks in order; the first Drop wins.
+func (nf *Netfilter) Run(t *sim.Task, skb *SKBuff) Verdict {
+	for _, h := range nf.hooks {
+		if h(t, skb) == Drop {
+			return Drop
+		}
+	}
+	return Accept
+}

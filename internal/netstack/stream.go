@@ -1,0 +1,182 @@
+package netstack
+
+import (
+	"github.com/asplos18/damn/internal/perf"
+	"github.com/asplos18/damn/internal/sim"
+)
+
+// Receiver is the kernel+application side of one inbound TCP stream (a
+// netperf TCP_STREAM receive flow): interrupt-context stack processing,
+// netfilter, and the user-boundary copy performed by the blocked read.
+type Receiver struct {
+	K *Kernel
+	// ExtraCycles is per-segment workload overhead on top of the model's
+	// RXSegCycles — the per-figure calibration knob (multi-instance
+	// cache/scheduler effects; see EXPERIMENTS.md).
+	ExtraCycles float64
+	// Wakeup charges the blocked-reader wakeup on every segment
+	// (multi-instance runs where the app sleeps between segments).
+	Wakeup bool
+	// AckCost charges the bidirectional ACK-competition cost (§6.1).
+	AckCost bool
+
+	// Stats.
+	Bytes    uint64
+	Segments uint64
+	Dropped  uint64
+}
+
+// HandleSegment consumes one received skb; runs in interrupt context.
+func (r *Receiver) HandleSegment(t *sim.Task, skb *SKBuff) {
+	m := r.K.Model
+	perf.Charge(t, m.RXSegCycles+r.ExtraCycles)
+	if r.Wakeup {
+		perf.Charge(t, m.WakeupCycles)
+	}
+	if r.AckCost {
+		perf.Charge(t, m.AckCycles)
+	}
+	// The stack reads the headers — under DAMN this is the accessor
+	// interposition that copies them out of the device's reach (§5.2).
+	hdrLen := m.DamnHeaderBytes
+	if _, err := skb.Access(t, hdrLen); err != nil {
+		r.Dropped++
+		skb.Free(t)
+		return
+	}
+	if r.K.Netfilter.Run(t, skb) == Drop {
+		r.Dropped++
+		skb.Free(t)
+		return
+	}
+	// The application's read(): the user-boundary copy that makes the
+	// payload unreachable by the device.
+	skb.CopyToUser(t, skb.Len())
+	r.Bytes += uint64(skb.Len())
+	r.Segments++
+	skb.Free(t)
+}
+
+// Sender is one outbound TCP stream: the application writes into a socket
+// whose in-flight window is bounded by the socket buffer; TSO-sized
+// segments are mapped and handed to the NIC; completions (ACK-clocked)
+// reopen the window.
+type Sender struct {
+	K      *Kernel
+	Drv    *Driver
+	Core   *sim.Core
+	Ring   int
+	PortID int
+	Flow   int
+
+	// SegSize is the TSO aggregate (64 KiB).
+	SegSize int
+	// Window is the socket send-buffer size in bytes.
+	Window int
+	// ExtraCycles per segment (per-figure calibration).
+	ExtraCycles float64
+	// AckCost charges bidirectional ACK competition.
+	AckCost bool
+	// Wakeup charges the writer wakeup per segment.
+	Wakeup bool
+
+	inFlight int
+	pumping  bool
+	stopped  bool
+
+	// DebugPumps counts pump task executions (test instrumentation).
+	DebugPumps uint64
+	DebugSends uint64
+
+	// Stats.
+	Bytes    uint64
+	Segments uint64
+	Errors   uint64
+}
+
+// Start begins transmitting; the flow runs until Stop.
+func (s *Sender) Start() {
+	if s.SegSize == 0 {
+		s.SegSize = s.K.Model.SegmentSize
+	}
+	if s.Window == 0 {
+		s.Window = 16 * s.SegSize
+	}
+	s.schedulePump()
+}
+
+// Stop halts the flow after in-flight segments drain.
+func (s *Sender) Stop() { s.stopped = true }
+
+func (s *Sender) schedulePump() {
+	if s.pumping || s.stopped {
+		return
+	}
+	s.pumping = true
+	s.Core.Submit(false, func(t *sim.Task) {
+		s.pumping = false
+		s.DebugPumps++
+		s.pump(t)
+	})
+}
+
+// pump fills the window; it runs as an application/syscall task.
+func (s *Sender) pump(t *sim.Task) {
+	m := s.K.Model
+	for !s.stopped && s.inFlight+s.SegSize <= s.Window {
+		skb, err := AllocSKB(s.K, t, s.Drv.NIC().ID(), s.SegSize, false)
+		if err != nil {
+			s.Errors++
+			return
+		}
+		skb.Flow = s.Flow
+		skb.Owner = s
+		// The user's write(): copy at the user/kernel boundary.
+		if err := skb.CopyFromUser(t, nil, s.SegSize); err != nil {
+			s.Errors++
+			skb.Free(t)
+			return
+		}
+		perf.Charge(t, m.TXSegCycles+s.ExtraCycles)
+		if s.AckCost {
+			perf.Charge(t, m.AckCycles)
+		}
+		if s.Wakeup {
+			perf.Charge(t, m.WakeupCycles)
+		}
+		if err := s.Drv.Transmit(t, s.Ring, s.PortID, skb); err != nil {
+			// TX ring full: free and retry when completions arrive.
+			s.Errors++
+			skb.Free(t)
+			return
+		}
+		s.inFlight += s.SegSize
+		s.DebugSends++
+	}
+}
+
+// TxDone is invoked (via skb.Owner dispatch) when a segment completes.
+func (s *Sender) TxDone(t *sim.Task, skb *SKBuff) {
+	s.inFlight -= skb.Len()
+	s.Bytes += uint64(skb.Len())
+	s.Segments++
+	skb.Free(t)
+	if !s.stopped && s.inFlight+s.SegSize <= s.Window {
+		s.schedulePump()
+	}
+}
+
+// TxCompleter receives transmit completions for skbs it owns.
+type TxCompleter interface {
+	TxDone(t *sim.Task, skb *SKBuff)
+}
+
+// DispatchTxDone is a Driver.OnTxDone adapter routing completions back to
+// their owning endpoints.
+func DispatchTxDone(t *sim.Task, ring int, skb *SKBuff) {
+	if c, ok := skb.Owner.(TxCompleter); ok {
+		c.TxDone(t, skb)
+		return
+	}
+	skb.Free(t)
+}

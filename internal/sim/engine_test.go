@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(30*Nanosecond, func() { got = append(got, 3) })
+	e.At(10*Nanosecond, func() { got = append(got, 1) })
+	e.At(20*Nanosecond, func() { got = append(got, 2) })
+	e.RunUntilIdle()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 30*Nanosecond {
+		t.Fatalf("Now = %v, want 30ns", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*Nanosecond, func() { got = append(got, i) })
+	}
+	e.RunUntilIdle()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var ran []Time
+	for _, at := range []Time{1 * Microsecond, 2 * Microsecond, 3 * Microsecond} {
+		at := at
+		e.At(at, func() { ran = append(ran, at) })
+	}
+	n := e.Run(2 * Microsecond)
+	if n != 2 || len(ran) != 2 {
+		t.Fatalf("Run processed %d events, want 2", n)
+	}
+	if e.Now() != 2*Microsecond {
+		t.Fatalf("Now = %v after bounded Run", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(1*Microsecond, tick)
+		}
+	}
+	e.After(1*Microsecond, tick)
+	e.RunUntilIdle()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 5*Microsecond {
+		t.Fatalf("Now = %v, want 5us", e.Now())
+	}
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	stop := e.Every(10*Millisecond, func() { count++ })
+	e.Run(55 * Millisecond)
+	if count != 5 {
+		t.Fatalf("ticks = %d, want 5", count)
+	}
+	stop()
+	e.RunUntilIdle()
+	if count != 5 {
+		t.Fatalf("ticker kept running after stop: %d", count)
+	}
+}
+
+func TestEnginePastEventClamped(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10*Nanosecond, func() {
+		// Scheduling in the past must clamp to now, not travel back.
+		e.At(0, func() {
+			if e.Now() != 10*Nanosecond {
+				t.Errorf("past event ran at %v", e.Now())
+			}
+		})
+	})
+	e.RunUntilIdle()
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("Seconds = %v", got)
+	}
+}
+
+func TestCoreSerialExecution(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCore(e, 0, 0, 2e9) // 2 GHz: 1 cycle = 500 ps
+	var starts []Time
+	for i := 0; i < 3; i++ {
+		c.Submit(false, func(task *Task) {
+			starts = append(starts, task.Start())
+			task.Charge(2000) // 1 us at 2 GHz
+		})
+	}
+	e.RunUntilIdle()
+	want := []Time{0, 1 * Microsecond, 2 * Microsecond}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("task %d started at %v, want %v", i, starts[i], want[i])
+		}
+	}
+	if c.Busy() != 3*Microsecond {
+		t.Fatalf("Busy = %v, want 3us", c.Busy())
+	}
+}
+
+func TestCoreChargeTimeAndStall(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCore(e, 0, 0, 1e9)
+	c.Submit(false, func(task *Task) {
+		task.Charge(1000) // 1 us at 1 GHz
+		if task.Now() != 1*Microsecond {
+			t.Errorf("Now after 1000 cycles = %v", task.Now())
+		}
+		task.ChargeTime(500 * Nanosecond)
+		task.StallUntil(3 * Microsecond)
+		if task.Now() != 3*Microsecond {
+			t.Errorf("Now after stall = %v", task.Now())
+		}
+		task.StallUntil(1 * Microsecond) // in the past: no-op
+		if task.Now() != 3*Microsecond {
+			t.Errorf("past StallUntil moved time to %v", task.Now())
+		}
+	})
+	e.RunUntilIdle()
+	if c.Busy() != 3*Microsecond {
+		t.Fatalf("Busy = %v, want 3us", c.Busy())
+	}
+}
+
+func TestSpinLockUncontended(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCore(e, 0, 0, 1e9)
+	var l SpinLock
+	c.Submit(false, func(task *Task) {
+		l.Lock(task, 100)
+		if task.Now() != 100*Nanosecond {
+			t.Errorf("uncontended lock took %v", task.Now())
+		}
+	})
+	e.RunUntilIdle()
+	if l.ContendedFor != 0 {
+		t.Fatalf("ContendedFor = %v, want 0", l.ContendedFor)
+	}
+	if l.Acquisitions != 1 {
+		t.Fatalf("Acquisitions = %d", l.Acquisitions)
+	}
+}
+
+func TestSpinLockContention(t *testing.T) {
+	// Two cores grab the same lock at the same instant; the second must
+	// wait for the first's hold time, charged as spin.
+	e := NewEngine(1)
+	c0 := NewCore(e, 0, 0, 1e9)
+	c1 := NewCore(e, 1, 0, 1e9)
+	var l SpinLock
+	var end0, end1 Time
+	c0.Submit(false, func(task *Task) {
+		l.Lock(task, 1000) // hold 1 us
+		end0 = task.Now()
+	})
+	c1.Submit(false, func(task *Task) {
+		l.Lock(task, 1000)
+		end1 = task.Now()
+	})
+	e.RunUntilIdle()
+	if end0 != 1*Microsecond {
+		t.Fatalf("first holder finished at %v", end0)
+	}
+	if end1 != 2*Microsecond {
+		t.Fatalf("second holder finished at %v, want 2us (1us wait + 1us hold)", end1)
+	}
+	if l.ContendedFor != 1*Microsecond {
+		t.Fatalf("ContendedFor = %v, want 1us", l.ContendedFor)
+	}
+	// The waiting core burned CPU while spinning.
+	if c1.Busy() != 2*Microsecond {
+		t.Fatalf("waiter Busy = %v, want 2us", c1.Busy())
+	}
+}
+
+func TestFluidResourceSerializes(t *testing.T) {
+	r := NewFluidResource("membw", 1e9) // 1 GB/s
+	end1 := r.Reserve(0, 1000)          // 1000 B at 1 GB/s = 1 us
+	if end1 != 1*Microsecond {
+		t.Fatalf("first reserve ends at %v", end1)
+	}
+	end2 := r.Reserve(0, 1000)
+	if end2 != 2*Microsecond {
+		t.Fatalf("second reserve ends at %v, want 2us", end2)
+	}
+	if r.Backlog(0) != 2*Microsecond {
+		t.Fatalf("Backlog = %v", r.Backlog(0))
+	}
+	if r.Backlog(3*Microsecond) != 0 {
+		t.Fatal("backlog should drain")
+	}
+	if r.Used() != 2000 {
+		t.Fatalf("Used = %v", r.Used())
+	}
+}
+
+func TestFluidResourceIdleGap(t *testing.T) {
+	r := NewFluidResource("wire", 1e9)
+	r.Reserve(0, 1000)
+	// Arriving after the queue drained: starts immediately.
+	end := r.Reserve(10*Microsecond, 1000)
+	if end != 11*Microsecond {
+		t.Fatalf("post-idle reserve ends at %v, want 11us", end)
+	}
+}
+
+func TestCoreInterruptFlag(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCore(e, 0, 0, 1e9)
+	var sawIRQ, sawStd bool
+	c.Submit(true, func(task *Task) { sawIRQ = task.Interrupt })
+	c.Submit(false, func(task *Task) { sawStd = !task.Interrupt })
+	e.RunUntilIdle()
+	if !sawIRQ || !sawStd {
+		t.Fatal("interrupt flag not propagated")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(99)
+		c := NewCore(e, 0, 0, 2e9)
+		var log []Time
+		for i := 0; i < 50; i++ {
+			delay := Time(e.Rand().Intn(1000)) * Nanosecond
+			e.After(delay, func() {
+				c.Submit(false, func(task *Task) {
+					task.Charge(float64(e.Rand().Intn(500)))
+					log = append(log, task.Now())
+				})
+			})
+		}
+		e.RunUntilIdle()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+// MemController models the shared DRAM controller. Unlike FluidResource —
+// a FIFO pipeline suited to devices that reserve in event order — the
+// controller is used concurrently by every core at its own task-local
+// time, so it is modelled with windowed utilization plus a queueing-delay
+// factor: a transfer of B bytes has service time B/Rate, and experiences
+// extra queueing delay service×ρ/(1−ρ) where ρ is the recent utilization.
+// Under light load the extra is negligible; as aggregate demand approaches
+// the ceiling the delay explodes, which is exactly how shadow buffers
+// cannibalize the machine (Fig 2, Fig 6) — stalled copies burn CPU and
+// throttle the producers.
+//
+// Utilization windows close on the *engine* clock (tasks charge at
+// task-local logical times that interleave out of order, so caller time is
+// unusable): the controller arms a tick event whenever traffic flows and
+// goes dormant when it stops, keeping RunUntilIdle terminating.
+type MemController struct {
+	// Rate is capacity in bytes per second.
+	Rate float64
+	// Window is the utilization-averaging period.
+	Window Time
+
+	eng      *Engine
+	armed    bool
+	winStart Time
+	winBytes float64
+	rho      float64
+	used     float64
+}
+
+// NewMemController builds a controller with the given capacity. Attach an
+// engine with Attach for windowed utilization; unattached controllers
+// account traffic but report zero congestion (functional tests).
+func NewMemController(rate float64) *MemController {
+	if rate <= 0 {
+		panic("sim: memory controller rate must be positive")
+	}
+	return &MemController{Rate: rate, Window: 200 * Microsecond}
+}
+
+// Attach ties the controller's utilization windows to the engine clock.
+func (m *MemController) Attach(eng *Engine) { m.eng = eng }
+
+// Use accounts a transfer of the given bytes and returns its service time
+// and the congestion delay it suffers. The now parameter is accepted for
+// interface symmetry; congestion is evaluated against the engine clock.
+func (m *MemController) Use(now Time, bytes float64) (service, extra Time) {
+	if bytes <= 0 {
+		return 0, 0
+	}
+	m.winBytes += bytes
+	m.used += bytes
+	m.arm()
+	service = Time(bytes / m.Rate * float64(Second))
+	if mult := congestionMultiplier(m.rho); mult > 0 {
+		extra = Time(float64(service) * mult)
+	}
+	return service, extra
+}
+
+// arm schedules the next window rollover if traffic is flowing.
+func (m *MemController) arm() {
+	if m.armed || m.eng == nil {
+		return
+	}
+	m.armed = true
+	m.winStart = m.eng.Now()
+	m.eng.After(m.Window, m.tick)
+}
+
+// tick closes the window on the engine clock.
+func (m *MemController) tick() {
+	m.armed = false
+	span := (m.eng.Now() - m.winStart).Seconds()
+	if span <= 0 {
+		return
+	}
+	// Blend with the previous estimate: task execution is bursty at
+	// window granularity and raw windows oscillate between overload and
+	// empty.
+	inst := m.winBytes / (m.Rate * span)
+	m.rho = 0.7*m.rho + 0.3*inst
+	m.winBytes = 0
+	if m.rho > 0.005 {
+		// Keep rolling while traffic flows; decay to idle otherwise.
+		m.arm()
+	}
+}
+
+// congestionMultiplier maps utilization to queueing delay (in units of the
+// transfer's own service time). Below saturation it is the M/M/1 waiting
+// factor ρ/(1−ρ); past ρ=0.9 it continues linearly so that *how far* the
+// controller is overloaded still matters — that slope is what makes
+// co-runners share bandwidth proportionally (Fig 2: the BFS slows by the
+// share the networking traffic takes).
+func congestionMultiplier(rho float64) float64 {
+	if rho <= 0 {
+		return 0
+	}
+	if rho <= 0.9 {
+		return rho / (1 - rho)
+	}
+	return 9 + 200*(rho-0.9)
+}
+
+// Utilization returns the last closed window's demand/capacity ratio (can
+// exceed 1 under overload).
+func (m *MemController) Utilization() float64 { return m.rho }
+
+// Used returns total bytes accounted (for bandwidth reporting).
+func (m *MemController) Used() float64 { return m.used }

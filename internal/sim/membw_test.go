@@ -1,0 +1,95 @@
+package sim
+
+import "testing"
+
+func TestMemControllerIdle(t *testing.T) {
+	mc := NewMemController(80e9)
+	service, extra := mc.Use(0, 80000)
+	if service != Microsecond {
+		t.Fatalf("service = %v, want 1us", service)
+	}
+	if extra != 0 {
+		t.Fatalf("idle controller produced queueing delay %v", extra)
+	}
+	if mc.Used() != 80000 {
+		t.Fatalf("Used = %v", mc.Used())
+	}
+}
+
+func TestMemControllerZeroBytes(t *testing.T) {
+	mc := NewMemController(1e9)
+	if s, e := mc.Use(0, 0); s != 0 || e != 0 {
+		t.Fatal("zero transfer should be free")
+	}
+}
+
+func TestMemControllerCongestion(t *testing.T) {
+	e := NewEngine(1)
+	mc := NewMemController(1e9)
+	mc.Attach(e)
+	// Offer 3 GB/s against a 1 GB/s controller for 2 ms.
+	stop := e.Every(10*Microsecond, func() { mc.Use(e.Now(), 30000) })
+	e.Run(2 * Millisecond)
+	stop()
+	rho := mc.Utilization()
+	if rho < 1.5 {
+		t.Fatalf("utilization %.2f should reflect 3x overload", rho)
+	}
+	_, extra := mc.Use(e.Now(), 10000)
+	service := Time(10000.0 / 1e9 * float64(Second))
+	if extra < 10*service {
+		t.Fatalf("queueing extra %v should dwarf service %v under overload", extra, service)
+	}
+}
+
+func TestMemControllerDecaysToIdle(t *testing.T) {
+	e := NewEngine(1)
+	mc := NewMemController(1e9)
+	mc.Attach(e)
+	mc.Use(e.Now(), 1000)
+	// With no further traffic, the rollover chain must terminate so
+	// RunUntilIdle returns.
+	n := e.RunUntilIdle()
+	if n == 0 {
+		t.Fatal("no tick events ran")
+	}
+	if e.Pending() != 0 {
+		t.Fatal("controller kept the engine alive")
+	}
+}
+
+func TestMemControllerUnattachedIsFunctional(t *testing.T) {
+	mc := NewMemController(1e9)
+	for i := 0; i < 100; i++ {
+		mc.Use(Time(i)*Microsecond, 1e6)
+	}
+	if mc.Utilization() != 0 {
+		t.Fatal("unattached controller should not compute utilization")
+	}
+	if mc.Used() != 1e8 {
+		t.Fatalf("Used = %v", mc.Used())
+	}
+}
+
+func TestSpinLockUtilization(t *testing.T) {
+	e := NewEngine(1)
+	c := NewCore(e, 0, 0, 1e9)
+	var l SpinLock
+	// Hold the lock ~60% of the time for a while.
+	for i := 0; i < 40; i++ {
+		c.Submit(false, func(task *Task) {
+			l.LockFor(task, 30*Microsecond)
+			task.ChargeTime(20 * Microsecond)
+		})
+	}
+	e.RunUntilIdle()
+	rho := l.Utilization(e.Now())
+	if rho < 0.3 || rho > 1.0 {
+		t.Fatalf("utilization %.2f, want ≈0.6", rho)
+	}
+	// After a long quiet period the next window reads ≈0.
+	quiet := e.Now() + 10*Millisecond
+	if got := l.Utilization(quiet); got > 0.2 {
+		t.Fatalf("utilization %.2f after quiet period", got)
+	}
+}

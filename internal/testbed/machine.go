@@ -1,0 +1,241 @@
+// Package testbed assembles complete simulated machines — memory, IOMMU,
+// cores, DMA API with the selected protection scheme, optional DAMN
+// deployment, NIC and driver. The workload and experiment packages build
+// every evaluation scenario of the paper on top of these machines.
+package testbed
+
+import (
+	"fmt"
+
+	damncore "github.com/asplos18/damn/internal/damn"
+	"github.com/asplos18/damn/internal/device"
+	"github.com/asplos18/damn/internal/dmaapi"
+	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/mem"
+	"github.com/asplos18/damn/internal/netstack"
+	"github.com/asplos18/damn/internal/perf"
+	"github.com/asplos18/damn/internal/sim"
+)
+
+// Scheme selects the IOMMU protection configuration of a machine, covering
+// every evaluated system of §6 plus the Table 3 analysis variants.
+type Scheme string
+
+const (
+	// SchemeOff: IOMMU disabled (passthrough) — no protection.
+	SchemeOff Scheme = "iommu-off"
+	// SchemeStrict: synchronous IOTLB invalidation on every unmap.
+	SchemeStrict Scheme = "strict"
+	// SchemeDeferred: batched invalidations (Linux default).
+	SchemeDeferred Scheme = "deferred"
+	// SchemeShadow: DMA shadow buffers (ASPLOS'16).
+	SchemeShadow Scheme = "shadow"
+	// SchemeDAMN: the paper's system — DAMN allocator + interposition,
+	// falling back to deferred for non-DAMN buffers (§5.3).
+	SchemeDAMN Scheme = "damn"
+	// SchemeDAMNHugeDense: Table 3 variant — dense huge-page IOVAs.
+	SchemeDAMNHugeDense Scheme = "damn+huge+dense"
+	// SchemeDAMNNoIOMMU: Table 3 variant — DAMN software stack with the
+	// IOMMU in passthrough (isolates IOMMU hardware overheads).
+	SchemeDAMNNoIOMMU Scheme = "damn-without-iommu"
+	// SchemeDAMNSingleCtx: ablation — one DMA-cache copy per core with
+	// interrupt disabling instead of §5.4's two physical copies.
+	SchemeDAMNSingleCtx Scheme = "damn-single-context"
+	// SchemeDAMNNoCache: ablation — no chunk caching; every buffer
+	// builds and tears down its mapping.
+	SchemeDAMNNoCache Scheme = "damn-no-dma-cache"
+)
+
+// AllSchemes is the comparison set of Fig 1/4/5/6/7.
+var AllSchemes = []Scheme{SchemeOff, SchemeDeferred, SchemeStrict, SchemeShadow, SchemeDAMN}
+
+// MachineConfig describes a testbed instance.
+type MachineConfig struct {
+	Scheme   Scheme
+	Model    *perf.Model
+	MemBytes int64
+	Seed     int64
+	// RingSize is RX descriptors per ring (per core).
+	RingSize int
+	// Cores overrides Model.NumCores (0 = use model).
+	Cores int
+	// NoNIC skips NIC construction (NVMe-only experiments).
+	NoNIC bool
+}
+
+// Machine is one fully assembled testbed.
+type Machine struct {
+	Cfg    MachineConfig
+	Sim    *sim.Engine
+	Mem    *mem.Memory
+	Slab   *mem.Slab
+	IOMMU  *iommu.IOMMU
+	Model  *perf.Model
+	MemBW  *sim.MemController
+	Cores  []*sim.Core
+	DMA    *dmaapi.Engine
+	Damn   *damncore.DAMN // nil unless a DAMN scheme
+	Kernel *netstack.Kernel
+	NIC    *device.NIC
+	Driver *netstack.Driver
+
+	// Deferred is non-nil when the active (or fallback) scheme batches
+	// invalidations — exposed for window inspection.
+	Deferred *DeferredHandle
+}
+
+// DeferredHandle lets experiments inspect/flush the deferred scheme.
+type DeferredHandle struct{ S *dmaapi.DeferredScheme }
+
+// NICDeviceID is the NIC's IOMMU identity in every machine.
+const NICDeviceID = 1
+
+// NVMeDeviceID is the SSD's identity.
+const NVMeDeviceID = 2
+
+// NewMachine assembles a testbed under the given scheme.
+func NewMachine(cfg MachineConfig) (*Machine, error) {
+	if cfg.Model == nil {
+		cfg.Model = perf.Default28Core()
+	}
+	model := cfg.Model
+	if cfg.Cores > 0 {
+		model.NumCores = cfg.Cores
+	}
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = 1 << 30
+	}
+	if cfg.RingSize == 0 {
+		cfg.RingSize = 64
+	}
+	m, err := mem.New(mem.Config{TotalBytes: cfg.MemBytes, NUMANodes: model.NumNodes})
+	if err != nil {
+		return nil, err
+	}
+	se := sim.NewEngine(cfg.Seed)
+	u := iommu.New(m)
+	membw := sim.NewMemController(model.MemBWBytesPerSec)
+	membw.Attach(se)
+
+	// Cores split evenly across NUMA nodes (14+14 on the testbed).
+	var cores []*sim.Core
+	perNode := model.NumCores / model.NumNodes
+	if perNode == 0 {
+		perNode = model.NumCores
+	}
+	coreNodes := make([]int, model.NumCores)
+	for i := 0; i < model.NumCores; i++ {
+		node := i / perNode
+		if node >= model.NumNodes {
+			node = model.NumNodes - 1
+		}
+		coreNodes[i] = node
+		cores = append(cores, sim.NewCore(se, i, node, model.CoreHz))
+	}
+
+	ma := &Machine{
+		Cfg: cfg, Sim: se, Mem: m, Slab: mem.NewSlab(m), IOMMU: u,
+		Model: model, MemBW: membw, Cores: cores,
+	}
+
+	nicDomain := u.AttachDevice(NICDeviceID)
+	u.AttachDevice(NVMeDeviceID)
+
+	// Protection scheme + optional DAMN deployment.
+	var scheme dmaapi.Scheme
+	useDamn := false
+	switch cfg.Scheme {
+	case SchemeOff:
+		nicDomain.Passthrough = true
+		u.Domain(NVMeDeviceID).Passthrough = true
+		scheme = dmaapi.NewOffScheme()
+	case SchemeStrict:
+		scheme = dmaapi.NewStrictScheme(u, model)
+	case SchemeDeferred, "":
+		d := dmaapi.NewDeferredScheme(se, u, model)
+		scheme = d
+		ma.Deferred = &DeferredHandle{S: d}
+	case SchemeShadow:
+		scheme = dmaapi.NewShadowScheme(m, u, model, membw)
+	case SchemeDAMN, SchemeDAMNHugeDense, SchemeDAMNSingleCtx, SchemeDAMNNoCache:
+		// DAMN falls back to the deferred scheme for non-DAMN buffers
+		// (§5.3: compatible with any DMA-API-based scheme; deferred is
+		// the Linux default).
+		d := dmaapi.NewDeferredScheme(se, u, model)
+		scheme = d
+		ma.Deferred = &DeferredHandle{S: d}
+		useDamn = true
+	case SchemeDAMNNoIOMMU:
+		// Table 3 analysis variant: the full DAMN software stack with
+		// the IOMMU in passthrough — dma_map returns physical
+		// addresses, isolating DAMN's software overhead from IOMMU
+		// hardware effects.
+		nicDomain.Passthrough = true
+		u.Domain(NVMeDeviceID).Passthrough = true
+		scheme = dmaapi.NewOffScheme()
+		useDamn = true
+	default:
+		return nil, fmt.Errorf("testbed: unknown scheme %q", cfg.Scheme)
+	}
+
+	ma.DMA = dmaapi.NewEngine(se, m, u, model, scheme)
+
+	if useDamn {
+		dcfg := damncore.DefaultConfig(coreNodes)
+		switch cfg.Scheme {
+		case SchemeDAMNHugeDense:
+			dcfg.DenseHugeIOVA = true
+		case SchemeDAMNSingleCtx:
+			dcfg.SingleContext = true
+		case SchemeDAMNNoCache:
+			dcfg.NoDMACache = true
+		}
+		d, err := damncore.New(m, u, model, dcfg)
+		if err != nil {
+			return nil, err
+		}
+		ma.Damn = d
+		// §5.4: under memory pressure the OS invokes DAMN's shrinker
+		// to reclaim chunks cached in magazines and the depot.
+		m.RegisterShrinker(func() int64 { return d.Shrink(damncore.Ctx{}) })
+		if cfg.Scheme != SchemeDAMNNoIOMMU {
+			// With the IOMMU off, dma_map must return physical
+			// addresses, so the interposer stays out of the path.
+			ma.DMA.SetInterposer(&damncore.Interposer{D: d})
+		}
+	}
+
+	ma.Kernel = &netstack.Kernel{
+		Sim: se, Mem: m, Slab: ma.Slab, IOMMU: u, DMA: ma.DMA,
+		Damn: ma.Damn, Model: model, MemBW: membw, Cores: cores,
+	}
+
+	if !cfg.NoNIC {
+		ma.NIC = device.NewNIC(se, u, model, membw, cores, device.NICConfig{
+			ID: NICDeviceID, Ports: model.NICPorts,
+			RingSize: cfg.RingSize, TxRing: 256, Rings: model.NumCores,
+			WireGbps: model.WireGbpsPerPort, PCIeGbps: model.PCIeGbpsPerDir,
+		})
+		ma.Driver = netstack.NewDriver(ma.Kernel, ma.NIC)
+		ma.Driver.OnTxDone = netstack.DispatchTxDone
+	}
+	return ma, nil
+}
+
+// FillAllRings primes every RX ring before a run.
+func (ma *Machine) FillAllRings() error {
+	var firstErr error
+	for ring := range ma.Cores {
+		ring := ring
+		ma.Cores[ring].Submit(false, func(t *sim.Task) {
+			if err := ma.Driver.FillRing(t, ring); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	ma.Sim.Run(ma.Sim.Now()) // execute the fill tasks queued at current time
+	return firstErr
+}
+
+// SchemeName returns the human name of the machine's configuration.
+func (ma *Machine) SchemeName() string { return string(ma.Cfg.Scheme) }

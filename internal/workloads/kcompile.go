@@ -1,0 +1,93 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"github.com/asplos18/damn/internal/mem"
+	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/testbed"
+)
+
+// KCompile is the Fig 9 co-runner: an "iterative kernel compile job, which
+// stresses the kernel allocator". It churns slab objects and page blocks so
+// that the network stack's buffer allocations keep landing on fresh
+// physical pages — which is why, under the legacy schemes, the set of pages
+// that have *ever* been DMA-mapped grows without bound while the instantly
+// mapped set stays flat.
+type KCompile struct {
+	ma      *testbed.Machine
+	cores   []int
+	rng     *rand.Rand
+	held    []heldObj
+	stopped bool
+}
+
+type heldObj struct {
+	pa    mem.PhysAddr
+	page  *mem.Page
+	order int
+	slab  bool
+}
+
+// kcompileQuantum is allocations per scheduling slice.
+const kcompileQuantum = 64
+
+// StartKCompile launches the allocator churn on the given cores.
+func StartKCompile(ma *testbed.Machine, cores []int, seed int64) *KCompile {
+	k := &KCompile{ma: ma, cores: cores, rng: rand.New(rand.NewSource(seed))}
+	for i := range cores {
+		k.slice(i)
+	}
+	return k
+}
+
+// Stop halts the churn.
+func (k *KCompile) Stop() {
+	k.stopped = true
+	for _, h := range k.held {
+		k.release(h)
+	}
+	k.held = nil
+}
+
+func (k *KCompile) release(h heldObj) {
+	if h.slab {
+		k.ma.Slab.Free(h.pa)
+	} else {
+		k.ma.Mem.FreePages(h.page, h.order)
+	}
+}
+
+func (k *KCompile) slice(i int) {
+	if k.stopped {
+		return
+	}
+	core := k.ma.Cores[k.cores[i]]
+	core.Submit(false, func(t *sim.Task) {
+		t.Charge(50_000) // a compiler process chews CPU between allocations
+		for n := 0; n < kcompileQuantum; n++ {
+			// Hold a working set of ~2k objects; churn beyond it.
+			if len(k.held) > 2048 && k.rng.Intn(2) == 0 {
+				j := k.rng.Intn(len(k.held))
+				k.release(k.held[j])
+				k.held[j] = k.held[len(k.held)-1]
+				k.held = k.held[:len(k.held)-1]
+				continue
+			}
+			if k.rng.Intn(4) > 0 {
+				size := 32 << k.rng.Intn(10) // 32 B .. 16 KiB
+				pa, err := k.ma.Slab.Alloc(size, k.rng.Intn(k.ma.Model.NumNodes))
+				if err == nil {
+					k.held = append(k.held, heldObj{pa: pa, slab: true})
+				}
+			} else {
+				order := k.rng.Intn(4)
+				p, err := k.ma.Mem.AllocPages(order, k.rng.Intn(k.ma.Model.NumNodes))
+				if err == nil {
+					k.held = append(k.held, heldObj{page: p, order: order})
+				}
+			}
+		}
+		k.ma.Sim.After(100*sim.Microsecond, func() { k.slice(i) })
+	})
+}

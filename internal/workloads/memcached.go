@@ -1,0 +1,238 @@
+package workloads
+
+import (
+	"github.com/asplos18/damn/internal/device"
+	"github.com/asplos18/damn/internal/netstack"
+	"github.com/asplos18/damn/internal/perf"
+	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/testbed"
+)
+
+// MemcachedConfig models §6.1's memcached benchmark: one memcached instance
+// per core, loaded by memslap with 50/50 GET/SET of 512 KiB values (the
+// non-default sizes that make the benchmark network-bound).
+type MemcachedConfig struct {
+	Machine *testbed.Machine
+	// Instances is the number of memcached processes (one per core).
+	Instances int
+	// Concurrency is outstanding requests per instance (memslap load).
+	Concurrency int
+	// ValueBytes is the value size (512 KiB in the paper).
+	ValueBytes int
+	// GetRatio of operations that are GETs (0.5 in the paper).
+	GetRatio float64
+	Duration sim.Time
+	Warmup   sim.Time
+	// ExtraCycles per segment (scenario calibration).
+	ExtraCycles float64
+}
+
+// MemcachedResult is the Fig 7 row.
+type MemcachedResult struct {
+	Scheme  string
+	TPS     float64 // operations per second, aggregated
+	CPUUtil float64
+}
+
+// memcachedInstance is one server process plus its memslap loader.
+type memcachedInstance struct {
+	cfg   *MemcachedConfig
+	ma    *testbed.Machine
+	core  int
+	flow  int
+	ops   uint64
+	seq   uint64
+	stopd bool
+}
+
+// RunMemcached executes Fig 7's workload.
+func RunMemcached(cfg MemcachedConfig) (MemcachedResult, error) {
+	ma := cfg.Machine
+	if cfg.Instances == 0 {
+		cfg.Instances = len(ma.Cores)
+	}
+	if cfg.Concurrency == 0 {
+		cfg.Concurrency = 2
+	}
+	if cfg.ValueBytes == 0 {
+		cfg.ValueBytes = 512 << 10
+	}
+	if cfg.GetRatio == 0 {
+		cfg.GetRatio = 0.5
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 60 * sim.Millisecond
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 15 * sim.Millisecond
+	}
+	if err := ma.FillAllRings(); err != nil {
+		return MemcachedResult{}, err
+	}
+
+	instances := map[int]*memcachedInstance{}
+	for i := 0; i < cfg.Instances; i++ {
+		inst := &memcachedInstance{cfg: &cfg, ma: ma, core: i % len(ma.Cores), flow: i + 1}
+		instances[inst.flow] = inst
+	}
+
+	// Request arrival: memslap sends a request segment; the server's RX
+	// path processes it and transmits the response; response completion
+	// triggers the next request on that slot.
+	ma.Driver.OnDeliver = func(t *sim.Task, ring int, skb *netstack.SKBuff) {
+		inst, ok := instances[skb.Flow]
+		if !ok {
+			skb.Free(t)
+			return
+		}
+		inst.handleRequest(t, skb)
+	}
+
+	for _, inst := range instances {
+		for s := 0; s < cfg.Concurrency; s++ {
+			inst.sendRequest()
+		}
+	}
+
+	ma.Sim.Run(cfg.Warmup)
+	var ops0 uint64
+	for _, inst := range instances {
+		ops0 += inst.ops
+	}
+	busy0 := make([]sim.Time, len(ma.Cores))
+	for i, c := range ma.Cores {
+		busy0[i] = c.Busy()
+	}
+	t0 := ma.Sim.Now()
+	ma.Sim.Run(t0 + cfg.Duration)
+	dt := (ma.Sim.Now() - t0).Seconds()
+
+	var ops uint64
+	for _, inst := range instances {
+		inst.stopd = true
+		ops += inst.ops
+	}
+	var busy sim.Time
+	for i, c := range ma.Cores {
+		busy += c.Busy() - busy0[i]
+	}
+	return MemcachedResult{
+		Scheme:  ma.SchemeName(),
+		TPS:     float64(ops-ops0) / dt,
+		CPUUtil: busy.Seconds() / (dt * float64(len(ma.Cores))),
+	}, nil
+}
+
+// sendRequest injects the client's request. A GET request is small; a SET
+// carries the full value inbound.
+func (in *memcachedInstance) sendRequest() {
+	if in.stopd {
+		return
+	}
+	in.seq++
+	isGet := float64(in.seq%100)/100.0 < in.cfg.GetRatio
+	segSize := in.ma.Model.SegmentSize
+	port := in.flow % in.ma.Model.NICPorts
+
+	inject := func(n int) {
+		for n > 0 {
+			l := n
+			if l > segSize {
+				l = segSize
+			}
+			hdr := make([]byte, 64)
+			if isGet {
+				hdr[0] = 'G'
+			} else {
+				hdr[0] = 'S'
+			}
+			in.ma.NIC.InjectRX(port, in.core, device.Segment{Flow: in.flow, Len: l, Header: hdr})
+			n -= l
+		}
+	}
+	if isGet {
+		inject(256) // "get <key>\r\n"
+	} else {
+		inject(256 + in.cfg.ValueBytes) // SET carries the value
+	}
+}
+
+// handleRequest is the server's RX path for one request segment; the last
+// segment of a request triggers the response.
+func (in *memcachedInstance) handleRequest(t *sim.Task, skb *netstack.SKBuff) {
+	m := in.ma.Model
+	perf.Charge(t, m.RXSegCycles+in.cfg.ExtraCycles)
+	hdr, _ := skb.Access(t, 64)
+	isGet := len(hdr) > 0 && hdr[0] == 'G'
+	skb.CopyToUser(t, skb.Len())
+	last := isGet || skb.Len() < m.SegmentSize // GETs are single-segment; a short SET segment is the tail
+	skb.Free(t)
+	if !last {
+		return
+	}
+	// Server-side op processing, then the response.
+	perf.Charge(t, m.MemcachedOpCycles)
+	respBytes := 128
+	if isGet {
+		respBytes = in.cfg.ValueBytes
+	}
+	in.transmitResponse(t, respBytes)
+}
+
+// memcachedChunk is the item-chunk granularity of a large memcached value:
+// a 512 KiB value is assembled from many slab chunks, so its response goes
+// down as a scatter/gather list with one DMA mapping per chunk — the "IOTLB
+// invalidation rate caused by TX traffic" that cripples strict in Fig 7.
+const memcachedChunk = 4096
+
+// memcachedChunkCycles is the per-chunk kernel cost on the TX path (far
+// below a full TSO segment's cost: no separate syscall or TCP work).
+const memcachedChunkCycles = 900
+
+// transmitResponse sends the response as item-chunk segments; the last
+// completion counts the op and lets memslap issue the next request.
+func (in *memcachedInstance) transmitResponse(t *sim.Task, n int) {
+	m := in.ma.Model
+	chunk := memcachedChunk
+	segs := (n + chunk - 1) / chunk
+	sent := 0
+	for i := 0; i < segs; i++ {
+		l := n - sent
+		if l > chunk {
+			l = chunk
+		}
+		sent += l
+		skb, err := netstack.AllocSKB(in.ma.Kernel, t, in.ma.NIC.ID(), l, false)
+		if err != nil {
+			return
+		}
+		skb.Flow = in.flow
+		skb.CopyFromUser(t, nil, l)
+		perf.Charge(t, memcachedChunkCycles+in.cfg.ExtraCycles)
+		if i == 0 {
+			perf.Charge(t, m.TXSegCycles)
+		}
+		last := i == segs-1
+		skb.Owner = txCallback(func(t2 *sim.Task, done *netstack.SKBuff) {
+			done.Free(t2)
+			if last {
+				in.ops++
+				// Client thinks, then sends the next request.
+				in.ma.Sim.After(5*sim.Microsecond, in.sendRequest)
+			}
+		})
+		if err := in.ma.Driver.Transmit(t, in.core, in.flow%in.ma.Model.NICPorts, skb); err != nil {
+			// TX ring full: abandon the response but keep the memslap
+			// slot alive (the client would time out and retry).
+			skb.Free(t)
+			in.ma.Sim.After(50*sim.Microsecond, in.sendRequest)
+			return
+		}
+	}
+}
+
+// txCallback adapts a func to the skb Owner completion dispatch.
+type txCallback func(t *sim.Task, skb *netstack.SKBuff)
+
+// TxDone implements the completion hook used by DispatchTxDone.
+func (f txCallback) TxDone(t *sim.Task, skb *netstack.SKBuff) { f(t, skb) }

@@ -1,0 +1,225 @@
+// Package workloads implements the load generators of the paper's
+// evaluation: netperf TCP_STREAM (RX/TX/bidirectional, single- and
+// multi-core), memcached+memslap, the Graph500 BFS co-runner, fio over
+// NVMe, the XOR netfilter callback, and the kernel-compile allocator
+// stress. Each drives a testbed.Machine and reports calibrated
+// measurements.
+package workloads
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/asplos18/damn/internal/device"
+	"github.com/asplos18/damn/internal/netstack"
+	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/testbed"
+)
+
+// NetperfConfig describes one TCP_STREAM experiment.
+type NetperfConfig struct {
+	Machine *testbed.Machine
+	// RXCores / TXCores pin one netperf instance per entry (an entry may
+	// repeat a core: the single-core test runs 4 instances on core 0).
+	RXCores []int
+	TXCores []int
+	// Duration of the measurement window; Warmup precedes it.
+	Duration sim.Time
+	Warmup   sim.Time
+	// ExtraCycles is the per-segment workload overhead of this scenario
+	// (multi-instance cache/scheduler effects; see EXPERIMENTS.md).
+	ExtraCycles float64
+	// Wakeup charges blocked-reader/writer wakeups per segment.
+	Wakeup bool
+	// Bidirectional runs add ACK competition (§6.1).
+	bidir bool
+}
+
+// NetperfResult is one row of a throughput figure.
+type NetperfResult struct {
+	Scheme    string
+	RXGbps    float64
+	TXGbps    float64
+	TotalGbps float64
+	// CPUUtil is the fraction of all-core capacity consumed (one core at
+	// 100% on the 28-core machine reports as 3.57%).
+	CPUUtil float64
+	// MemBWGBps is average memory-controller traffic.
+	MemBWGBps float64
+}
+
+// Generator models the remote traffic-generation machine of §6: it offers
+// unlimited load on one flow, paced only by the wire and by flow control
+// (ring backpressure).
+type Generator struct {
+	ma      *testbed.Machine
+	port    int
+	ring    int
+	flow    int
+	segLen  int
+	src     netip.Addr
+	dst     netip.Addr
+	seq     uint32
+	stopped bool
+}
+
+// NewGenerator builds a traffic source for one flow: segments of segLen
+// arrive on port and are steered (RSS) to ring. Each segment carries a real
+// Ethernet/IPv4/TCP header stack, so firewall hooks parse genuine protocol
+// bytes.
+func NewGenerator(ma *testbed.Machine, port, ring, flow, segLen int) *Generator {
+	return &Generator{
+		ma: ma, port: port, ring: ring, flow: flow, segLen: segLen,
+		src: netip.AddrFrom4([4]byte{192, 168, byte(flow >> 8), byte(flow)}),
+		dst: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+	}
+}
+
+const (
+	// genWindow is how much wire backlog the generator keeps queued.
+	genWindow = 40 * sim.Microsecond
+	// genPoll is the re-arm interval.
+	genPoll = 10 * sim.Microsecond
+	// genParkLimit pauses injection when the ring has this many parked
+	// segments (PFC pause emulation).
+	genParkLimit = 8
+)
+
+// Start begins offering load.
+func (g *Generator) Start() { g.pump() }
+
+// Stop halts the generator at its next pump.
+func (g *Generator) Stop() { g.stopped = true }
+
+func (g *Generator) pump() {
+	if g.stopped {
+		return
+	}
+	se := g.ma.Sim
+	nic := g.ma.NIC
+	if nic.RXParked(g.ring) < genParkLimit {
+		for nic.WireRXBacklog(g.port) < genWindow {
+			hdr := netstack.BuildHeaders(g.src, g.dst, uint16(10000+g.flow), 5001, g.seq, g.segLen-netstack.HeaderLen)
+			g.seq += uint32(g.segLen - netstack.HeaderLen)
+			nic.InjectRX(g.port, g.ring, device.Segment{
+				Flow: g.flow, Len: g.segLen, Header: hdr,
+			})
+			if nic.RXParked(g.ring) >= genParkLimit {
+				break
+			}
+		}
+	}
+	se.After(genPoll, g.pump)
+}
+
+// RunNetperf executes the experiment and returns the measured row.
+func RunNetperf(cfg NetperfConfig) (NetperfResult, error) {
+	ma := cfg.Machine
+	if ma == nil {
+		return NetperfResult{}, fmt.Errorf("workloads: nil machine")
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 100 * sim.Millisecond
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 20 * sim.Millisecond
+	}
+	cfg.bidir = len(cfg.RXCores) > 0 && len(cfg.TXCores) > 0
+
+	if err := ma.FillAllRings(); err != nil {
+		return NetperfResult{}, err
+	}
+
+	// Receivers: one per RX instance, demuxed by flow id.
+	receivers := map[int]*netstack.Receiver{}
+	var gens []*Generator
+	for i, core := range cfg.RXCores {
+		flow := i + 1
+		recv := &netstack.Receiver{
+			K:           ma.Kernel,
+			ExtraCycles: cfg.ExtraCycles,
+			Wakeup:      cfg.Wakeup,
+			AckCost:     cfg.bidir,
+		}
+		receivers[flow] = recv
+		gens = append(gens, NewGenerator(ma, i%ma.Model.NICPorts, core, flow, ma.Model.SegmentSize))
+	}
+	if len(receivers) > 0 {
+		ma.Driver.OnDeliver = func(t *sim.Task, ring int, skb *netstack.SKBuff) {
+			if r, ok := receivers[skb.Flow]; ok {
+				r.HandleSegment(t, skb)
+				return
+			}
+			skb.Free(t)
+		}
+	}
+
+	// Senders.
+	var senders []*netstack.Sender
+	for i, core := range cfg.TXCores {
+		snd := &netstack.Sender{
+			K: ma.Kernel, Drv: ma.Driver, Core: ma.Cores[core],
+			Ring: core, PortID: i % ma.Model.NICPorts, Flow: 1000 + i,
+			ExtraCycles: cfg.ExtraCycles,
+			AckCost:     cfg.bidir,
+			Wakeup:      cfg.Wakeup,
+		}
+		senders = append(senders, snd)
+	}
+
+	for _, g := range gens {
+		g.Start()
+	}
+	for _, s := range senders {
+		s.Start()
+	}
+
+	// Warmup, then measure.
+	ma.Sim.Run(cfg.Warmup)
+	startRX := map[int]uint64{}
+	for f, r := range receivers {
+		startRX[f] = r.Bytes
+	}
+	startTX := make([]uint64, len(senders))
+	for i, s := range senders {
+		startTX[i] = s.Bytes
+	}
+	busy0 := make([]sim.Time, len(ma.Cores))
+	for i, c := range ma.Cores {
+		busy0[i] = c.Busy()
+	}
+	mem0 := ma.MemBW.Used()
+	t0 := ma.Sim.Now()
+
+	ma.Sim.Run(t0 + cfg.Duration)
+
+	t1 := ma.Sim.Now()
+	dt := (t1 - t0).Seconds()
+	var rxBytes, txBytes uint64
+	for f, r := range receivers {
+		rxBytes += r.Bytes - startRX[f]
+	}
+	for i, s := range senders {
+		txBytes += s.Bytes - startTX[i]
+	}
+	var busy sim.Time
+	for i, c := range ma.Cores {
+		busy += c.Busy() - busy0[i]
+	}
+	res := NetperfResult{
+		Scheme:    ma.SchemeName(),
+		RXGbps:    float64(rxBytes) * 8 / dt / 1e9,
+		TXGbps:    float64(txBytes) * 8 / dt / 1e9,
+		CPUUtil:   busy.Seconds() / (dt * float64(len(ma.Cores))),
+		MemBWGBps: (ma.MemBW.Used() - mem0) / dt / 1e9,
+	}
+	res.TotalGbps = res.RXGbps + res.TXGbps
+
+	for _, g := range gens {
+		g.Stop()
+	}
+	for _, s := range senders {
+		s.Stop()
+	}
+	return res, nil
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/asplos18/damn/internal/netstack"
+	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/testbed"
+)
+
+func singleCoreRX(t *testing.T, scheme testbed.Scheme) NetperfResult {
+	t.Helper()
+	ma, err := testbed.NewMachine(testbed.MachineConfig{
+		Scheme: scheme, MemBytes: 512 << 20, RingSize: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunNetperf(NetperfConfig{
+		Machine: ma,
+		RXCores: []int{0, 0, 0, 0}, // 4 netperf instances pinned to core 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%-10s single-core RX: %.1f Gb/s (CPU %.1f%%)", scheme, res.RXGbps, res.CPUUtil*100)
+	return res
+}
+
+// TestSingleCoreRXCalibration checks the Fig 4a shape: iommu-off ≈ 67 Gb/s,
+// deferred/damn close behind, strict ≈ 50, shadow ≈ 26.
+func TestSingleCoreRXCalibration(t *testing.T) {
+	off := singleCoreRX(t, testbed.SchemeOff)
+	deferred := singleCoreRX(t, testbed.SchemeDeferred)
+	strict := singleCoreRX(t, testbed.SchemeStrict)
+	shadow := singleCoreRX(t, testbed.SchemeShadow)
+	dm := singleCoreRX(t, testbed.SchemeDAMN)
+
+	within := func(name string, got, lo, hi float64) {
+		if got < lo || got > hi {
+			t.Errorf("%s = %.1f Gb/s, want in [%.0f, %.0f]", name, got, lo, hi)
+		}
+	}
+	within("iommu-off", off.RXGbps, 60, 75)
+	within("deferred", deferred.RXGbps, 55, 70)
+	within("damn", dm.RXGbps, 58, 70)
+	within("strict", strict.RXGbps, 42, 58)
+	within("shadow", shadow.RXGbps, 20, 33)
+
+	// Ordering (who wins) is the headline result.
+	if !(shadow.RXGbps < strict.RXGbps && strict.RXGbps < dm.RXGbps) {
+		t.Errorf("ordering broken: shadow %.1f, strict %.1f, damn %.1f",
+			shadow.RXGbps, strict.RXGbps, dm.RXGbps)
+	}
+	if dm.RXGbps < 2.0*shadow.RXGbps {
+		t.Errorf("damn (%.1f) should be ≈2.7× shadow (%.1f) on one core", dm.RXGbps, shadow.RXGbps)
+	}
+}
+
+func TestSingleCoreTXCalibration(t *testing.T) {
+	run := func(scheme testbed.Scheme) NetperfResult {
+		ma, err := testbed.NewMachine(testbed.MachineConfig{
+			Scheme: scheme, MemBytes: 512 << 20, RingSize: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunNetperf(NetperfConfig{
+			Machine: ma,
+			TXCores: []int{0, 0, 0, 0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-10s single-core TX: %.1f Gb/s (CPU %.1f%%)", scheme, res.TXGbps, res.CPUUtil*100)
+		return res
+	}
+	off := run(testbed.SchemeOff)
+	dm := run(testbed.SchemeDAMN)
+	shadow := run(testbed.SchemeShadow)
+	if off.TXGbps < 65 || off.TXGbps > 82 {
+		t.Errorf("iommu-off TX = %.1f, want ≈74", off.TXGbps)
+	}
+	if dm.TXGbps < 0.9*off.TXGbps {
+		t.Errorf("damn TX %.1f should be ≈ iommu-off %.1f", dm.TXGbps, off.TXGbps)
+	}
+	// TX shadow improves ≈1.7× over its RX result but stays worst.
+	if shadow.TXGbps > 0.75*off.TXGbps {
+		t.Errorf("shadow TX %.1f suspiciously close to off %.1f", shadow.TXGbps, off.TXGbps)
+	}
+}
+
+// TestGeneratorEmitsRealHeaders runs a short RX test with a firewall hook
+// that fully parses every segment's Ethernet/IPv4/TCP headers.
+func TestGeneratorEmitsRealHeaders(t *testing.T) {
+	ma, err := testbed.NewMachine(testbed.MachineConfig{
+		Scheme: testbed.SchemeDAMN, MemBytes: 256 << 20, Cores: 2, RingSize: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, bad := 0, 0
+	ma.Kernel.Netfilter.Register(func(task *sim.Task, skb *netstack.SKBuff) netstack.Verdict {
+		hdr, err := skb.Access(task, netstack.HeaderLen)
+		if err != nil {
+			bad++
+			return netstack.Drop
+		}
+		p, err := netstack.ParsePacket(hdr)
+		if err != nil || p.TCP.DstPort != 5001 {
+			bad++
+			return netstack.Drop
+		}
+		parsed++
+		return netstack.Accept
+	})
+	res, err := RunNetperf(NetperfConfig{
+		Machine: ma, RXCores: []int{0},
+		Warmup: 2 * sim.Millisecond, Duration: 10 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed == 0 {
+		t.Fatal("no segments parsed")
+	}
+	if bad != 0 {
+		t.Fatalf("%d segments failed header parsing", bad)
+	}
+	if res.RXGbps == 0 {
+		t.Fatal("no throughput")
+	}
+	t.Logf("parsed %d real header stacks at %.1f Gb/s", parsed, res.RXGbps)
+}
