@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all fmt vet build test race bench ci
+
+all: build
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector slows the simulations ~10×; -short skips the full
+# figure reproductions (covered by `make test`) so the pass stays bounded.
+race:
+	$(GO) test -race -short -timeout 20m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+ci: fmt vet build race

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"github.com/asplos18/damn/internal/iommu"
 	"github.com/asplos18/damn/internal/mem"
 	"github.com/asplos18/damn/internal/netstack"
+	"github.com/asplos18/damn/internal/stats"
 	"github.com/asplos18/damn/internal/testbed"
 )
 
@@ -35,17 +37,26 @@ type outcome struct {
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
+	statsOut := flag.String("stats", "", "write per-scheme metrics snapshots to this JSON file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the attacked machines")
 	flag.Parse()
+
+	var tracer *stats.Tracer
+	if *traceOut != "" {
+		tracer = stats.NewTracer()
+	}
+	snaps := map[string]stats.Snapshot{}
 
 	fmt.Println("DMA attack simulation — a compromised NIC attacks each configuration")
 	fmt.Println()
 	exitCode := 0
 	for _, scheme := range testbed.AllSchemes {
-		outs, err := attack(scheme, *seed)
+		outs, snap, err := attack(scheme, *seed, tracer)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", scheme, err)
 			os.Exit(1)
 		}
+		snaps[string(scheme)] = snap
 		fmt.Printf("=== %s ===\n", scheme)
 		for _, o := range outs {
 			verdict := "BLOCKED"
@@ -56,15 +67,52 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *statsOut != "" {
+		if err := writeJSONFile(*statsOut, func(enc *json.Encoder) error {
+			enc.SetIndent("", "  ")
+			return enc.Encode(snaps)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d metric snapshots to %s\n", len(snaps), *statsOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = tracer.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", tracer.Len(), *traceOut)
+	}
 	os.Exit(exitCode)
 }
 
-func attack(scheme testbed.Scheme, seed int64) ([]outcome, error) {
+func writeJSONFile(path string, write func(*json.Encoder) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(json.NewEncoder(f)); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func attack(scheme testbed.Scheme, seed int64, tracer *stats.Tracer) ([]outcome, stats.Snapshot, error) {
 	ma, err := testbed.NewMachine(testbed.MachineConfig{
 		Scheme: scheme, MemBytes: 128 << 20, Seed: seed, RingSize: 8,
+		Tracer: tracer,
 	})
 	if err != nil {
-		return nil, err
+		return nil, stats.Snapshot{}, err
 	}
 	attacker := device.NewMalicious(ma.IOMMU, testbed.NICDeviceID)
 	var outs []outcome
@@ -72,7 +120,7 @@ func attack(scheme testbed.Scheme, seed int64) ([]outcome, error) {
 	// 1. Arbitrary read of a kernel secret.
 	secretPA, err := ma.Slab.Alloc(64, 0)
 	if err != nil {
-		return nil, err
+		return nil, stats.Snapshot{}, err
 	}
 	secret := []byte("KERNEL-SECRET-KEY")
 	ma.Mem.Write(secretPA, secret)
@@ -84,11 +132,11 @@ func attack(scheme testbed.Scheme, seed int64) ([]outcome, error) {
 	// 2. Co-location (sub-page) exposure.
 	bufPA, err := ma.Slab.Alloc(256, 0)
 	if err != nil {
-		return nil, err
+		return nil, stats.Snapshot{}, err
 	}
 	neighbourPA, err := ma.Slab.Alloc(256, 0)
 	if err != nil {
-		return nil, err
+		return nil, stats.Snapshot{}, err
 	}
 	ma.Mem.Write(neighbourPA, secret)
 	colanded := false
@@ -105,7 +153,7 @@ func attack(scheme testbed.Scheme, seed int64) ([]outcome, error) {
 		// secret; scan the whole region around the buffer.
 		skb, err := netstack.DmaAllocSKB(ma.Kernel, nil, testbed.NICDeviceID, 256, false)
 		if err != nil {
-			return nil, err
+			return nil, stats.Snapshot{}, err
 		}
 		v, _ := ma.Damn.IOVAOf(skb.HeadPA())
 		base := v &^ iommu.IOVA(mem.HugePageMask)
@@ -118,7 +166,7 @@ func attack(scheme testbed.Scheme, seed int64) ([]outcome, error) {
 	// 3. Post-unmap write (the deferred window).
 	p, err := ma.Mem.AllocPages(0, 0)
 	if err != nil {
-		return nil, err
+		return nil, stats.Snapshot{}, err
 	}
 	winLanded := false
 	if scheme == testbed.SchemeOff {
@@ -126,7 +174,7 @@ func attack(scheme testbed.Scheme, seed int64) ([]outcome, error) {
 	} else if ma.Damn == nil {
 		v, err := ma.DMA.Map(nil, testbed.NICDeviceID, p.PFN().Addr(), mem.PageSize, dmaapi.FromDevice)
 		if err != nil {
-			return nil, err
+			return nil, stats.Snapshot{}, err
 		}
 		attacker.TryWrite(v, []byte("prime")) // prime the IOTLB
 		ma.DMA.Unmap(nil, testbed.NICDeviceID, v, mem.PageSize, dmaapi.FromDevice)
@@ -154,11 +202,11 @@ func attack(scheme testbed.Scheme, seed int64) ([]outcome, error) {
 	// 4. TOCTTOU on inspected headers.
 	tocttou, err := headerTocttou(ma, attacker, scheme)
 	if err != nil {
-		return nil, err
+		return nil, stats.Snapshot{}, err
 	}
 	outs = append(outs, outcome{"tocttou-header", tocttou,
 		"device rewrites packet headers after firewall inspection"})
-	return outs, nil
+	return outs, ma.StatsSnapshot(), nil
 }
 
 // headerTocttou reports whether the device manages to change the OS's view

@@ -4,12 +4,17 @@
 // Usage:
 //
 //	damnbench [-quick] [-seed N] [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11]
+//	          [-stats out.json] [-trace out.trace]
 //
 // The default full-fidelity run takes a few minutes; -quick shrinks the
-// measurement windows for a fast smoke pass.
+// measurement windows for a fast smoke pass. -stats writes a JSON document
+// with every machine's metrics registry keyed "<figure>/<scheme>"; -trace
+// writes a Chrome trace_event file (load in chrome://tracing or Perfetto)
+// with one process per simulated machine and one thread per core.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,15 +22,26 @@ import (
 	"time"
 
 	"github.com/asplos18/damn/internal/experiments"
+	"github.com/asplos18/damn/internal/stats"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "short measurement windows")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5")
+	statsOut := flag.String("stats", "", "write per-figure metrics snapshots to this JSON file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every simulated machine")
 	flag.Parse()
 
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	var snaps map[string]stats.Snapshot
+	if *statsOut != "" {
+		snaps = map[string]stats.Snapshot{}
+		opts.OnStats = func(label string, snap stats.Snapshot) { snaps[label] = snap }
+	}
+	if *traceOut != "" {
+		opts.Tracer = stats.NewTracer()
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(e)] = true
@@ -110,4 +126,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	if *statsOut != "" {
+		if err := writeStats(*statsOut, snaps); err != nil {
+			fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d metric snapshots to %s\n", len(snaps), *statsOut)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, opts.Tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events to %s", opts.Tracer.Len(), *traceOut)
+		if d := opts.Tracer.Dropped(); d > 0 {
+			fmt.Printf(" (%d dropped past the event limit)", d)
+		}
+		fmt.Println()
+	}
+}
+
+func writeStats(path string, snaps map[string]stats.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snaps); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeTrace(path string, tr *stats.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
 }

@@ -144,17 +144,20 @@ func (c *dmaCache) getChunk(x Ctx) (*chunk, error) {
 	}
 	cc := c.cpu(x)
 	if cc.loaded != nil && !cc.loaded.empty() {
+		c.d.magHitC.Inc()
 		return cc.loaded.pop(), nil
 	}
 	if cc.previous != nil && !cc.previous.empty() {
 		cc.loaded, cc.previous = cc.previous, cc.loaded
+		c.d.magHitC.Inc()
 		return cc.loaded.pop(), nil
 	}
 	// Depot round trip.
-	perf.Charge(x.C, c.d.model.DamnRefillCycles)
+	perf.ChargeCat(x.C, c.d.refillCyc, c.d.model.DamnRefillCycles)
 	full := c.depot.exchangeForFull(x, cc.loaded)
 	if full != nil {
 		cc.loaded = full
+		c.d.depotHitC.Inc()
 		return cc.loaded.pop(), nil
 	}
 	// Depot has nothing cached: fall back to the page allocator and
@@ -181,7 +184,7 @@ func (c *dmaCache) putChunk(x Ctx, ch *chunk) {
 		return
 	}
 	// Both magazines full: hand the loaded one to the depot.
-	perf.Charge(x.C, c.d.model.DamnRefillCycles)
+	perf.ChargeCat(x.C, c.d.refillCyc, c.d.model.DamnRefillCycles)
 	empty := c.depot.exchangeForEmpty(x, cc.loaded)
 	cc.loaded = empty
 	cc.loaded.push(ch)
@@ -196,11 +199,9 @@ func (c *dmaCache) recycle(x Ctx, ch *chunk) {
 	if c.d.cfg.NoDMACache && !ch.huge {
 		// Ablation: tear the chunk down on every free — unmap, wait
 		// for the invalidation, release the pages. This is the cost
-		// the permanent mapping avoids.
-		d := c.d
-		perf.Charge(x.C, d.model.UnmapCycles*float64(d.cfg.ChunkPages))
-		perf.ChargeTime(x.C, d.model.IOTLBInvLatency)
-		d.releaseChunk(c, ch)
+		// the permanent mapping avoids. releaseChunk charges the
+		// unmap cycles and invalidation wait to x.
+		c.d.releaseChunk(x, c, ch)
 		return
 	}
 	c.putChunk(x, ch)
@@ -222,7 +223,8 @@ func (c *dmaCache) newChunk(x Ctx) (*chunk, error) {
 	// Building a chunk is the slow path: zeroing plus IOMMU mapping of
 	// every page. With the DMA cache this amortizes to ~nothing; the
 	// NoDMACache ablation pays it on every allocation.
-	perf.Charge(x.C, d.model.ZeroCyclesPerByte*float64(d.ChunkBytes())+
+	d.buildC.Inc()
+	perf.ChargeCat(x.C, d.buildCyc, d.model.ZeroCyclesPerByte*float64(d.ChunkBytes())+
 		d.model.MapCycles*float64(d.cfg.ChunkPages))
 	v, err := d.allocEncodedIOVA(x.CPU, c.key.rights, c.key.dev)
 	if err != nil {
@@ -313,6 +315,8 @@ func (d *DAMN) registerChunk(ch *chunk) {
 	tail2.SetFlags(mem.FlagDAMN)
 	d.ChunksCreated++
 	d.footprint += int64(d.ChunkBytes())
+	d.createdC.Inc()
+	d.footprintG.Add(int64(d.ChunkBytes()))
 }
 
 // unregisterChunk removes the metadata (shrinker path).
@@ -328,4 +332,6 @@ func (d *DAMN) unregisterChunk(ch *chunk) {
 	ch.regIdx = 0
 	d.ChunksReleased++
 	d.footprint -= int64(d.ChunkBytes())
+	d.releasedC.Inc()
+	d.footprintG.Add(-int64(d.ChunkBytes()))
 }

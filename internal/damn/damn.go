@@ -33,6 +33,7 @@ import (
 	"github.com/asplos18/damn/internal/iova"
 	"github.com/asplos18/damn/internal/mem"
 	"github.com/asplos18/damn/internal/perf"
+	"github.com/asplos18/damn/internal/stats"
 )
 
 // Config sizes the allocator.
@@ -128,6 +129,45 @@ type DAMN struct {
 	ChunksCreated  uint64
 	ChunksReleased uint64
 	footprint      int64 // bytes currently owned by DAMN
+
+	// Observability (nil-safe handles; see SetStats). magHitC counts chunk
+	// gets served by a per-core magazine, depotHitC by a depot exchange,
+	// and buildC the slow path that zeroes and IOMMU-maps a fresh chunk —
+	// together they give the cache hit rate §5.4's design exists for.
+	magHitC       *stats.Counter
+	depotHitC     *stats.Counter
+	buildC        *stats.Counter
+	createdC      *stats.Counter
+	releasedC     *stats.Counter
+	shrinkRunsC   *stats.Counter
+	shrinkPagesC  *stats.Counter
+	footprintG    *stats.Gauge
+	allocCyc      *stats.FloatCounter
+	freeCyc       *stats.FloatCounter
+	refillCyc     *stats.FloatCounter
+	buildCyc      *stats.FloatCounter
+	teardownCyc   *stats.FloatCounter
+	teardownInvPS *stats.FloatCounter
+}
+
+// SetStats attaches a metrics registry: the allocator records magazine and
+// depot hit rates, chunk creation/teardown, shrinker reclaim, and the
+// simulated cycles it charges per cost category.
+func (d *DAMN) SetStats(r *stats.Registry) {
+	d.magHitC = r.Counter("damn", "magazine_hits")
+	d.depotHitC = r.Counter("damn", "depot_hits")
+	d.buildC = r.Counter("damn", "chunk_builds")
+	d.createdC = r.Counter("damn", "chunks_created")
+	d.releasedC = r.Counter("damn", "chunks_released")
+	d.shrinkRunsC = r.Counter("damn", "shrink_runs")
+	d.shrinkPagesC = r.Counter("damn", "shrink_pages")
+	d.footprintG = r.Gauge("damn", "footprint_bytes")
+	d.allocCyc = r.FloatCounter("perf", "cycles_damn_alloc")
+	d.freeCyc = r.FloatCounter("perf", "cycles_damn_free")
+	d.refillCyc = r.FloatCounter("perf", "cycles_damn_refill")
+	d.buildCyc = r.FloatCounter("perf", "cycles_damn_build")
+	d.teardownCyc = r.FloatCounter("perf", "cycles_damn_teardown")
+	d.teardownInvPS = r.FloatCounter("perf", "inv_wait_ps_damn_teardown")
 }
 
 type cacheKey struct {
@@ -214,7 +254,7 @@ func (d *DAMN) Alloc(x Ctx, dev int, rights iommu.Perm, size int) (mem.PhysAddr,
 	if err := d.checkArgs(dev, rights, size); err != nil {
 		return 0, err
 	}
-	perf.Charge(x.C, d.model.DamnAllocCycles)
+	perf.ChargeCat(x.C, d.allocCyc, d.model.DamnAllocCycles)
 	d.chargeCtxProtection(x)
 	c := d.cache(cacheKey{dev: dev, rights: rights, node: d.nodeOf(x.CPU)})
 	return c.allocBytes(x, size)
@@ -227,7 +267,7 @@ func (d *DAMN) AllocPages(x Ctx, dev int, rights iommu.Perm, k int) (*mem.Page, 
 	if err := d.checkArgs(dev, rights, size); err != nil {
 		return nil, err
 	}
-	perf.Charge(x.C, d.model.DamnAllocCycles)
+	perf.ChargeCat(x.C, d.allocCyc, d.model.DamnAllocCycles)
 	d.chargeCtxProtection(x)
 	c := d.cache(cacheKey{dev: dev, rights: rights, node: d.nodeOf(x.CPU)})
 	pa, err := c.allocPages(x, k)
@@ -253,7 +293,7 @@ func (d *DAMN) checkArgs(dev int, rights iommu.Perm, size int) error {
 // Free is damn_free (Table 2): callers pass only the address; DAMN finds
 // the owning chunk and allocator through the page-struct metadata (§5.5).
 func (d *DAMN) Free(x Ctx, addr mem.PhysAddr) error {
-	perf.Charge(x.C, d.model.DamnFreeCycles)
+	perf.ChargeCat(x.C, d.freeCyc, d.model.DamnFreeCycles)
 	d.chargeCtxProtection(x)
 	ch := d.chunkOf(addr)
 	if ch == nil {

@@ -1,0 +1,202 @@
+package damn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/mem"
+	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/stats"
+)
+
+// auditChunks checks the chunk-conservation invariants that must hold at
+// every quiescent point, whatever interleaving of Alloc/Free/Shrink got us
+// here:
+//
+//   - the registry holds exactly ChunksCreated-ChunksReleased live chunks;
+//   - no two live chunks overlap (no duplication of pages or IOVAs);
+//   - free registry slots and live slots partition the registry;
+//   - FootprintBytes matches the live-chunk count exactly.
+//
+// It returns the number of live chunks.
+func auditChunks(t *testing.T, f *fixture) int {
+	t.Helper()
+	d := f.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	live := 0
+	seenPA := map[mem.PhysAddr]bool{}
+	seenIOVA := map[iommu.IOVA]bool{}
+	for i, ch := range d.registry {
+		if ch == nil {
+			continue
+		}
+		live++
+		if ch.regIdx != i+1 {
+			t.Fatalf("registry[%d] holds chunk with regIdx %d", i, ch.regIdx)
+		}
+		if seenPA[ch.pa] {
+			t.Fatalf("chunk at %#x registered twice", ch.pa)
+		}
+		seenPA[ch.pa] = true
+		if !ch.huge && seenIOVA[ch.iova] {
+			t.Fatalf("IOVA %#x registered twice", ch.iova)
+		}
+		seenIOVA[ch.iova] = true
+	}
+	for _, slot := range d.freeSlots {
+		if d.registry[slot] != nil {
+			t.Fatalf("free slot %d still holds a chunk", slot)
+		}
+	}
+	if len(d.freeSlots) != len(d.registry)-live {
+		t.Fatalf("slot accounting broken: %d free + %d live != %d total",
+			len(d.freeSlots), live, len(d.registry))
+	}
+	if got, want := d.ChunksCreated-d.ChunksReleased, uint64(live); got != want {
+		t.Fatalf("created-released = %d but %d chunks live", got, want)
+	}
+	if got, want := d.footprint, int64(live)*int64(d.ChunkBytes()); got != want {
+		t.Fatalf("footprint %d bytes, want %d for %d live chunks", got, want, live)
+	}
+	return live
+}
+
+// TestChunkConservationProperty drives the allocator through arbitrary
+// interleavings of Alloc, Free and Shrink from mixed contexts and checks
+// after every burst that chunks are neither lost (created but unreachable)
+// nor duplicated (two owners for the same pages). Runs against the full
+// design and each ablation, since they share the registry machinery but
+// take different release paths.
+func TestChunkConservationProperty(t *testing.T) {
+	configs := map[string]func(*Config){
+		"default":        nil,
+		"single-context": func(c *Config) { c.SingleContext = true },
+		"no-dma-cache":   func(c *Config) { c.NoDMACache = true },
+		"dense-huge":     func(c *Config) { c.DenseHugeIOVA = true },
+	}
+	for name, mod := range configs {
+		t.Run(name, func(t *testing.T) {
+			f := newFixture(t, mod)
+			rng := rand.New(rand.NewSource(23))
+			basePages := f.mem.AllocatedPages()
+			var live []mem.PhysAddr
+			for step := 0; step < 4000; step++ {
+				switch op := rng.Intn(10); {
+				case op < 6 || len(live) == 0: // alloc-biased to build pressure
+					x := Ctx{CPU: rng.Intn(4), IRQ: rng.Intn(2) == 0}
+					size := rng.Intn(f.d.MaxAlloc()) + 1
+					pa, err := f.d.Alloc(x, testDev, iommu.PermWrite, size)
+					if err != nil {
+						continue
+					}
+					if !f.d.Owns(pa) {
+						t.Fatalf("fresh allocation %#x not owned by DAMN", pa)
+					}
+					live = append(live, pa)
+				case op < 9:
+					i := rng.Intn(len(live))
+					x := Ctx{CPU: rng.Intn(4), IRQ: rng.Intn(2) == 0}
+					if err := f.d.Free(x, live[i]); err != nil {
+						t.Fatalf("free %#x: %v", live[i], err)
+					}
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				default:
+					f.d.Shrink(Ctx{CPU: rng.Intn(4)})
+				}
+				if step%97 == 0 {
+					auditChunks(t, f)
+				}
+			}
+			for _, pa := range live {
+				if err := f.d.Free(Ctx{}, pa); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Drain the caches completely; repeated shrinks must converge
+			// (a lost chunk would leave footprint the shrinker cannot find,
+			// a duplicated one would make it release pages twice).
+			for i := 0; i < 3; i++ {
+				f.d.Shrink(Ctx{})
+			}
+			liveChunks := auditChunks(t, f)
+			// Whatever survives the shrinker (bump-pinned and huge chunks)
+			// must be exactly the pages still charged to this allocator.
+			wantPages := int64(liveChunks) * int64(f.d.cfg.ChunkPages)
+			if got := f.mem.AllocatedPages() - basePages; got != wantPages {
+				t.Fatalf("page accounting: %d pages still allocated, want %d for %d chunks",
+					got, wantPages, liveChunks)
+			}
+		})
+	}
+}
+
+// TestShrinkAdvancesSimulatedTime is the regression test for the shrinker
+// cost-accounting bug: releaseChunk must charge the caller UnmapCycles per
+// page and the synchronous IOTLB-invalidation wait, exactly like the
+// NoDMACache teardown path. A task that runs Shrink therefore consumes
+// simulated time, and work queued behind it starts later.
+func TestShrinkAdvancesSimulatedTime(t *testing.T) {
+	f := newFixture(t, nil)
+	reg := stats.NewRegistry()
+	f.d.SetStats(reg)
+
+	// Park a pile of clean chunks in the magazines.
+	x := Ctx{}
+	var pas []mem.PhysAddr
+	for i := 0; i < 8; i++ {
+		pa, err := f.d.Alloc(x, testDev, iommu.PermWrite, f.d.MaxAlloc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pas = append(pas, pa)
+	}
+	for _, pa := range pas {
+		if err := f.d.Free(x, pa); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	eng := sim.NewEngine(1)
+	core := sim.NewCore(eng, 0, 0, 2e9)
+	var released int64
+	var start, end, nextStart sim.Time
+	core.Submit(false, func(task *sim.Task) {
+		start = task.Now()
+		released = f.d.Shrink(Ctx{C: task})
+		end = task.Now()
+	})
+	core.Submit(false, func(task *sim.Task) { nextStart = task.Start() })
+	eng.RunUntilIdle()
+
+	if released == 0 {
+		t.Fatal("shrinker released nothing despite cached chunks")
+	}
+	chunks := released / int64(f.d.cfg.ChunkPages)
+	// Each released chunk waits out one synchronous IOTLB invalidation and
+	// pays per-page unmap cycles on top.
+	minElapsed := sim.Time(chunks) * f.d.model.IOTLBInvLatency
+	if end-start < minElapsed {
+		t.Fatalf("Shrink advanced the task clock by %v, want >= %v for %d chunks",
+			end-start, minElapsed, chunks)
+	}
+	if core.Busy() < minElapsed {
+		t.Fatalf("core busy %v, want >= %v — reclaim not billed as CPU time", core.Busy(), minElapsed)
+	}
+	if nextStart < end {
+		t.Fatalf("task behind the shrinker started at %v, before reclaim finished at %v",
+			nextStart, end)
+	}
+
+	// The cost shows up in the per-category accounting, too.
+	snap := reg.Snapshot()
+	if snap.Floats["perf/cycles_damn_teardown"] <= 0 {
+		t.Fatal("no teardown cycles accounted")
+	}
+	if snap.Floats["perf/inv_wait_ps_damn_teardown"] <= 0 {
+		t.Fatal("no invalidation wait accounted")
+	}
+}

@@ -3,6 +3,7 @@ package damn
 import (
 	"github.com/asplos18/damn/internal/iommu"
 	"github.com/asplos18/damn/internal/iova"
+	"github.com/asplos18/damn/internal/perf"
 )
 
 // Shrink implements the OS shrinker interface the paper describes (§5.4
@@ -50,20 +51,31 @@ func (d *DAMN) Shrink(x Ctx) int64 {
 				c.putChunk(x, ch)
 				continue
 			}
-			released += d.releaseChunk(c, ch)
+			released += d.releaseChunk(x, c, ch)
 		}
+	}
+	d.shrinkRunsC.Inc()
+	if released > 0 {
+		d.shrinkPagesC.Add(uint64(released))
 	}
 	return released
 }
 
-// releaseChunk tears one chunk down completely.
-func (d *DAMN) releaseChunk(c *dmaCache, ch *chunk) int64 {
+// releaseChunk tears one chunk down completely, charging the caller for the
+// unmap work and the synchronous IOTLB invalidation wait — the same costs the
+// NoDMACache ablation pays on every free. Reclaim is not free; it only
+// happens off the fast path.
+func (d *DAMN) releaseChunk(x Ctx, c *dmaCache, ch *chunk) int64 {
 	// Revoke device access *before* the pages go back to the kernel.
 	if err := d.iommu.Unmap(c.key.dev, ch.iova, d.ChunkBytes()); err != nil {
 		panic("damn: shrinker unmap failed: " + err.Error())
 	}
-	d.iommu.InvQ().Submit(iommu.Command{Kind: iommu.InvRange, Dev: c.key.dev, Base: ch.iova, Size: d.ChunkBytes()})
+	perf.ChargeCat(x.C, d.teardownCyc, d.model.UnmapCycles*float64(d.cfg.ChunkPages))
+	if err := d.iommu.InvQ().Submit(iommu.Command{Kind: iommu.InvRange, Dev: c.key.dev, Base: ch.iova, Size: d.ChunkBytes()}); err != nil {
+		panic("damn: shrinker invalidation submit failed: " + err.Error())
+	}
 	d.iommu.InvQ().Drain()
+	perf.ChargeTimeCat(x.C, d.teardownInvPS, d.model.IOTLBInvLatency)
 	// Recycle the identity-region IOVA slot.
 	if e, ok := iova.Decode(ch.iova); ok && !ch.huge {
 		d.mu.Lock()

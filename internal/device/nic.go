@@ -14,6 +14,7 @@ import (
 	"github.com/asplos18/damn/internal/iommu"
 	"github.com/asplos18/damn/internal/perf"
 	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/stats"
 )
 
 // RXDesc is one posted receive buffer: where the NIC may deposit an
@@ -101,6 +102,29 @@ type NIC struct {
 	TxBytes    uint64
 	RxBlocked  uint64 // segments whose DMA faulted
 	RxStalls   uint64 // segments parked because the ring was empty
+
+	// Observability (nil-safe handles; see SetStats).
+	rxSegC  *stats.Counter
+	rxByteC *stats.Counter
+	txSegC  *stats.Counter
+	txByteC *stats.Counter
+	faultC  *stats.Counter
+	stallC  *stats.Counter
+	rxSizeH *stats.Histogram
+	txSizeH *stats.Histogram
+}
+
+// SetStats attaches a metrics registry mirroring the NIC's traffic and DMA
+// fault counters, plus segment-size histograms.
+func (n *NIC) SetStats(r *stats.Registry) {
+	n.rxSegC = r.Counter("device", "nic_rx_segments")
+	n.rxByteC = r.Counter("device", "nic_rx_bytes")
+	n.txSegC = r.Counter("device", "nic_tx_segments")
+	n.txByteC = r.Counter("device", "nic_tx_bytes")
+	n.faultC = r.Counter("device", "nic_dma_faults")
+	n.stallC = r.Counter("device", "nic_rx_stalls")
+	n.rxSizeH = r.Histogram("device", "nic_rx_segment_bytes")
+	n.txSizeH = r.Histogram("device", "nic_tx_segment_bytes")
 }
 
 type rxRing struct {
@@ -200,6 +224,7 @@ func (n *NIC) tryDeliver(ring int, seg Segment) {
 		// park until the driver posts buffers.
 		r.pending = append(r.pending, seg)
 		n.RxStalls++
+		n.stallC.Inc()
 		return
 	}
 	n.deliver(ring, seg)
@@ -238,9 +263,13 @@ func (n *NIC) deliver(ring int, seg Segment) {
 		// buffer is still returned to the driver with 0 bytes (model of
 		// a DMA fault + driver error handling).
 		n.RxBlocked++
+		n.faultC.Inc()
 	}
 	n.RxSegments++
 	n.RxBytes += uint64(seg.Len)
+	n.rxSegC.Inc()
+	n.rxByteC.Add(uint64(seg.Len))
+	n.rxSizeH.Observe(float64(seg.Len))
 
 	comp := RXCompletion{Desc: desc, Seg: seg, Written: written}
 	core := n.cores[ring%len(n.cores)]
@@ -320,11 +349,15 @@ func (n *NIC) PostTX(ring, port int, desc TXDesc) error {
 	}
 	if err != nil {
 		n.RxBlocked++ // reuse the blocked counter for TX faults too
+		n.faultC.Inc()
 	}
 
 	wireDone := n.txWire[port].Reserve(done, float64(desc.Size))
 	n.TxSegments++
 	n.TxBytes += uint64(desc.Size)
+	n.txSegC.Inc()
+	n.txByteC.Add(uint64(desc.Size))
+	n.txSizeH.Observe(float64(desc.Size))
 	core := n.cores[ring%len(n.cores)]
 	n.se.At(wireDone, func() {
 		q.inFlight--

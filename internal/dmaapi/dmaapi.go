@@ -24,6 +24,7 @@ import (
 	"github.com/asplos18/damn/internal/mem"
 	"github.com/asplos18/damn/internal/perf"
 	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/stats"
 )
 
 // Direction of a DMA transfer, as in the kernel's dma_data_direction.
@@ -102,6 +103,38 @@ type Engine struct {
 	// MapCalls / UnmapCalls count API operations.
 	MapCalls   uint64
 	UnmapCalls uint64
+
+	// Observability (nil-safe handles; see SetStats).
+	mapC     *stats.Counter
+	unmapC   *stats.Counter
+	ipMapC   *stats.Counter
+	ipUnmapC *stats.Counter
+	sgMapC   *stats.Counter
+	sgUnmapC *stats.Counter
+	everDMAG *stats.Gauge
+}
+
+// statsSink is implemented by schemes that export their own metrics.
+type statsSink interface {
+	SetStats(r *stats.Registry)
+}
+
+// SetStats attaches a metrics registry. Map/unmap counters carry the active
+// scheme's name so runs under different protection schemes stay
+// distinguishable in merged snapshots; interposed operations (DAMN fast
+// path) are counted separately because they bypass the scheme entirely.
+func (e *Engine) SetStats(r *stats.Registry) {
+	name := e.scheme.Name()
+	e.mapC = r.Counter("dmaapi", "maps_"+name)
+	e.unmapC = r.Counter("dmaapi", "unmaps_"+name)
+	e.ipMapC = r.Counter("dmaapi", "maps_interposed")
+	e.ipUnmapC = r.Counter("dmaapi", "unmaps_interposed")
+	e.sgMapC = r.Counter("dmaapi", "sg_map_entries")
+	e.sgUnmapC = r.Counter("dmaapi", "sg_unmap_entries")
+	e.everDMAG = r.Gauge("dmaapi", "ever_dma_pages")
+	if s, ok := e.scheme.(statsSink); ok {
+		s.SetStats(r)
+	}
 }
 
 // NewEngine builds the DMA API over the given machine pieces.
@@ -132,9 +165,11 @@ func (e *Engine) Map(c perf.Charger, dev int, pa mem.PhysAddr, size int, dir Dir
 	e.recordExposure(pa, size)
 	if ip := e.interposer; ip != nil {
 		if v, ok := ip.MapHook(c, dev, pa, size, dir); ok {
+			e.ipMapC.Inc()
 			return v, nil
 		}
 	}
+	e.mapC.Inc()
 	return e.scheme.Map(c, dev, pa, size, dir)
 }
 
@@ -144,9 +179,11 @@ func (e *Engine) Unmap(c perf.Charger, dev int, v iommu.IOVA, size int, dir Dire
 	e.UnmapCalls++
 	if ip := e.interposer; ip != nil {
 		if ip.UnmapHook(c, dev, v, size, dir) {
+			e.ipUnmapC.Inc()
 			return nil
 		}
 	}
+	e.unmapC.Inc()
 	return e.scheme.Unmap(c, dev, v, size, dir)
 }
 
@@ -161,6 +198,7 @@ func (e *Engine) recordExposure(pa mem.PhysAddr, size int) {
 			e.everDMACount++
 		}
 	}
+	e.everDMAG.Set(e.everDMACount)
 }
 
 // EverDMAPages returns how many distinct physical pages have ever been

@@ -9,6 +9,7 @@ import (
 	"github.com/asplos18/damn/internal/mem"
 	"github.com/asplos18/damn/internal/perf"
 	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/stats"
 )
 
 // OffScheme is iommu-off: domains run in passthrough, Map is the identity
@@ -41,6 +42,17 @@ type mappingScheme struct {
 	// the hardware executes the invalidation command, so the lock also
 	// serializes the command stream.
 	invLock *sim.SpinLock
+
+	// Observability (nil-safe handles; see SetStats).
+	mapCyc   *stats.FloatCounter
+	unmapCyc *stats.FloatCounter
+}
+
+// SetStats attributes the cycles this scheme charges to perf cost
+// categories, so snapshots break overhead down by map vs. unmap work.
+func (s *mappingScheme) SetStats(r *stats.Registry) {
+	s.mapCyc = r.FloatCounter("perf", "cycles_dma_map")
+	s.unmapCyc = r.FloatCounter("perf", "cycles_dma_unmap")
 }
 
 // FrameBytes is the mapping granularity of the dynamic schemes: the mlx5
@@ -74,7 +86,7 @@ func newMappingScheme(u *iommu.IOMMU, model *perf.Model) *mappingScheme {
 }
 
 func (s *mappingScheme) mapCommon(c perf.Charger, dev int, pa mem.PhysAddr, size int, dir Direction) (iommu.IOVA, error) {
-	perf.Charge(c, s.model.MapCycles*float64(frames(size, dir)))
+	perf.ChargeCat(c, s.mapCyc, s.model.MapCycles*float64(frames(size, dir)))
 	// Page-align the mapping: the IOMMU maps whole pages, which is why
 	// DMA-API protection is only page-granular (§4: a sub-page buffer
 	// exposes its page neighbours).
@@ -93,7 +105,7 @@ func (s *mappingScheme) mapCommon(c perf.Charger, dev int, pa mem.PhysAddr, size
 }
 
 func (s *mappingScheme) unmapCommon(c perf.Charger, dev int, v iommu.IOVA, size int, dir Direction) (base iommu.IOVA, span int, err error) {
-	perf.Charge(c, s.model.UnmapCycles*float64(frames(size, dir)))
+	perf.ChargeCat(c, s.unmapCyc, s.model.UnmapCycles*float64(frames(size, dir)))
 	off := v & iommu.IOVA(mem.PageMask)
 	base = v - off
 	span = s.alloc.SizeOf(base)
@@ -154,7 +166,9 @@ func (s *StrictScheme) Unmap(c perf.Charger, dev int, v iommu.IOVA, size int, di
 	}
 	// Strict: submit the invalidation and synchronously drain the queue
 	// (the lock hold above models the wait).
-	s.u.InvQ().Submit(iommu.Command{Kind: iommu.InvRange, Dev: dev, Base: base, Size: span})
+	if err := s.u.InvQ().Submit(iommu.Command{Kind: iommu.InvRange, Dev: dev, Base: base, Size: span}); err != nil {
+		return fmt.Errorf("dmaapi: strict invalidation submit: %w", err)
+	}
 	s.u.InvQ().Drain()
 	s.alloc.Free(base)
 	return nil
@@ -256,7 +270,11 @@ func (s *DeferredScheme) flushLocked(c perf.Charger) {
 		devs[e.dev] = true
 	}
 	for dev := range devs {
-		s.u.InvQ().Submit(iommu.Command{Kind: iommu.InvDomain, Dev: dev})
+		if err := s.u.InvQ().Submit(iommu.Command{Kind: iommu.InvDomain, Dev: dev}); err != nil {
+			// Domain invalidations are always well-formed and a full
+			// queue drains synchronously, so a rejection here is a bug.
+			panic("dmaapi: deferred invalidation submit failed: " + err.Error())
+		}
 	}
 	s.u.InvQ().Drain()
 	// Only now do the IOVA ranges become reusable. (Placeholder frame

@@ -36,6 +36,7 @@ func (e *Engine) MapSG(c perf.Charger, dev int, sg []SGEntry, dir Direction) err
 			return fmt.Errorf("dmaapi: scatterlist entry %d: %w", i, err)
 		}
 		sg[i].DMAAddr = v
+		e.sgMapC.Inc()
 	}
 	return nil
 }
@@ -48,6 +49,7 @@ func (e *Engine) UnmapSG(c perf.Charger, dev int, sg []SGEntry, dir Direction) e
 			firstErr = fmt.Errorf("dmaapi: scatterlist entry %d: %w", i, err)
 		}
 		sg[i].DMAAddr = 0
+		e.sgUnmapC.Inc()
 	}
 	return firstErr
 }

@@ -48,6 +48,7 @@ func Ablations(opts Options) ([]AblationRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		opts.emit("ablations/"+string(scheme), ma)
 		rows = append(rows, AblationRow{
 			Config:    string(scheme),
 			TotalGbps: res.TotalGbps,

@@ -11,6 +11,7 @@ import (
 
 	"github.com/asplos18/damn/internal/perf"
 	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/stats"
 	"github.com/asplos18/damn/internal/testbed"
 )
 
@@ -19,6 +20,21 @@ import (
 type Options struct {
 	Quick bool
 	Seed  int64
+
+	// OnStats, when non-nil, receives each machine's metrics snapshot after
+	// its run, labelled "<figure>/<scheme>" (plus a direction or parameter
+	// suffix where one figure runs several configurations per scheme).
+	OnStats func(label string, snap stats.Snapshot)
+	// Tracer, when non-nil, is attached to every machine the experiments
+	// build; each machine appears as one process in the Chrome trace.
+	Tracer *stats.Tracer
+}
+
+// emit hands a finished machine's metrics to the OnStats hook.
+func (o Options) emit(label string, ma *testbed.Machine) {
+	if o.OnStats != nil {
+		o.OnStats(label, ma.StatsSnapshot())
+	}
 }
 
 func (o Options) durations() (warm, dur sim.Time) {
@@ -53,6 +69,7 @@ func newMachine(scheme testbed.Scheme, opts Options, memBytes int64, ring int) (
 		MemBytes: memBytes,
 		Seed:     opts.Seed,
 		RingSize: ring,
+		Tracer:   opts.Tracer,
 	})
 }
 

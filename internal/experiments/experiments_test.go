@@ -8,6 +8,17 @@ import (
 
 var quick = Options{Quick: true}
 
+// skipInShort gates the figure reproductions out of -short runs: the CI
+// race pass uses -short because the race detector slows the simulations by
+// an order of magnitude, and the figure shapes are already covered by the
+// regular (non-race) test run.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("figure reproduction skipped in -short mode")
+	}
+}
+
 func TestTable1SecurityMatrix(t *testing.T) {
 	rows, err := Table1(quick)
 	if err != nil {
@@ -47,6 +58,7 @@ func byScheme[T any](rows []T, scheme func(T) string, name string) (T, bool) {
 }
 
 func TestFig4Shape(t *testing.T) {
+	skipInShort(t)
 	rows, err := Fig4(quick)
 	if err != nil {
 		t.Fatal(err)
@@ -77,6 +89,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
+	skipInShort(t)
 	rows, err := Fig5(quick)
 	if err != nil {
 		t.Fatal(err)
@@ -100,6 +113,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
+	skipInShort(t)
 	rows, err := Fig6(quick)
 	if err != nil {
 		t.Fatal(err)
@@ -133,6 +147,7 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
+	skipInShort(t)
 	rows, err := Table3(quick)
 	if err != nil {
 		t.Fatal(err)
@@ -152,6 +167,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestFig2Shape(t *testing.T) {
+	skipInShort(t)
 	rows, err := Fig2(quick)
 	if err != nil {
 		t.Fatal(err)
@@ -183,6 +199,7 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
+	skipInShort(t)
 	rows, err := Fig7(quick)
 	if err != nil {
 		t.Fatal(err)
@@ -208,6 +225,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	skipInShort(t)
 	rows, err := Fig8(quick)
 	if err != nil {
 		t.Fatal(err)
@@ -240,6 +258,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
+	skipInShort(t)
 	points, err := Fig9(quick)
 	if err != nil {
 		t.Fatal(err)
@@ -261,6 +280,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
+	skipInShort(t)
 	rows, err := Fig10(quick)
 	if err != nil {
 		t.Fatal(err)
@@ -284,6 +304,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
+	skipInShort(t)
 	rows, err := Fig11(quick)
 	if err != nil {
 		t.Fatal(err)
@@ -315,6 +336,7 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	skipInShort(t)
 	rows, err := Ablations(quick)
 	if err != nil {
 		t.Fatal(err)
@@ -343,6 +365,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestFootnote5Shape(t *testing.T) {
+	skipInShort(t)
 	rows, err := Footnote5(quick)
 	if err != nil {
 		t.Fatal(err)

@@ -70,6 +70,14 @@ func Fig2(opts Options) ([]InterferenceRow, error) {
 		for _, g := range graphs {
 			g.Stop()
 		}
+		label := string(scheme)
+		switch {
+		case !withGraph:
+			label += "-nograph"
+		case !withNet:
+			label += "-nonet"
+		}
+		opts.emit("fig2/"+label, ma)
 		if withGraph {
 			var sum sim.Time
 			n := 0
@@ -151,6 +159,7 @@ func Fig7(opts Options) ([]MemcachedRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		opts.emit("fig7/"+string(scheme), ma)
 		rows = append(rows, MemcachedRow{Scheme: string(scheme), TPS: res.TPS, CPUUtil: res.CPUUtil})
 	}
 	return rows, nil
@@ -209,6 +218,7 @@ func Fig8(opts Options) ([]TocttouRow, error) {
 			if err != nil {
 				return nil, err
 			}
+			opts.emit(fmt.Sprintf("fig8/%s-%dB", scheme, n), ma)
 			rows = append(rows, TocttouRow{
 				Scheme:        string(scheme),
 				AccessedBytes: n,

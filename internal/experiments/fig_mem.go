@@ -70,6 +70,7 @@ func Fig9(opts Options) ([]Fig9Point, error) {
 			CurrentlyMapd: ma.IOMMU.MappedPages(testbed.NICDeviceID),
 		})
 	}
+	opts.emit("fig9/deferred", ma)
 	return points, nil
 }
 
@@ -142,6 +143,7 @@ func Fig10(opts Options) ([]MemUsageRow, error) {
 				if len(samples) > 0 {
 					avg = float64(sum) / float64(len(samples)) * mem.PageSize / (1 << 20)
 				}
+				opts.emit(fmt.Sprintf("fig10/%s-%s-%d", scheme, dir, n), ma)
 				rows = append(rows, MemUsageRow{
 					Scheme: string(scheme), Direction: dir, Instances: n, AvgMiB: avg,
 				})

@@ -37,6 +37,7 @@ func Fig4(opts Options) ([]SingleCoreRow, error) {
 			if err != nil {
 				return nil, err
 			}
+			opts.emit("fig4/"+string(scheme)+"-"+dir, ma)
 			rows = append(rows, SingleCoreRow{
 				Scheme: string(scheme), Dir: dir,
 				Gbps:    res.TotalGbps,
@@ -88,6 +89,7 @@ func Fig5(opts Options) ([]MultiCoreRow, error) {
 			if err != nil {
 				return nil, err
 			}
+			opts.emit("fig5/"+string(scheme)+"-"+dir, ma)
 			rows = append(rows, MultiCoreRow{
 				Scheme: string(scheme), Dir: dir,
 				Gbps: res.TotalGbps, CPUUtil: res.CPUUtil,
@@ -142,6 +144,7 @@ func fig6Schemes(opts Options, schemes []testbed.Scheme) ([]BidirRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		opts.emit("fig6/"+string(scheme), ma)
 		rows = append(rows, BidirRow{
 			Scheme:    string(scheme),
 			TotalGbps: res.TotalGbps, RXGbps: res.RXGbps, TXGbps: res.TXGbps,

@@ -35,6 +35,7 @@ func Fig11(opts Options) ([]FioRow, error) {
 		for _, bs := range blocks {
 			ma, err := testbed.NewMachine(testbed.MachineConfig{
 				Scheme: scheme, MemBytes: 256 << 20, Seed: opts.Seed, NoNIC: true,
+				Tracer: opts.Tracer,
 			})
 			if err != nil {
 				return nil, err
@@ -48,6 +49,7 @@ func Fig11(opts Options) ([]FioRow, error) {
 			if err != nil {
 				return nil, err
 			}
+			opts.emit(fmt.Sprintf("fig11/%s-%dB", scheme, bs), ma)
 			rows = append(rows, FioRow{
 				Scheme: string(scheme), BlockSize: bs,
 				KIOPS: res.IOPS / 1e3, GiBps: res.GiBps, CPUUtil: res.CPUUtil,

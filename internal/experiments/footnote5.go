@@ -51,6 +51,7 @@ func Footnote5(opts Options) ([]Footnote5Row, error) {
 			MemBytes: 512 << 20,
 			Seed:     opts.Seed,
 			RingSize: 256, // small buffers: deeper ring, as drivers configure
+			Tracer:   opts.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -62,6 +63,7 @@ func Footnote5(opts Options) ([]Footnote5Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		opts.emit("footnote5/"+string(scheme), ma)
 		rows = append(rows, Footnote5Row{Scheme: string(scheme), Gbps: res.RXGbps})
 	}
 	return rows, nil

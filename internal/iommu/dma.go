@@ -17,14 +17,22 @@ func (u *IOMMU) Translate(dev int, iova IOVA, write bool) (mem.PhysAddr, error) 
 	return u.translateLocked(dev, iova, write)
 }
 
+// faultLocked records a blocked DMA in the fault log and counters and
+// returns the Fault for the caller to propagate. Caller holds u.mu.
+func (u *IOMMU) faultLocked(dev int, iova IOVA, want Perm, write bool) Fault {
+	u.BlockedDMAs++
+	u.blockedC.Inc()
+	f := Fault{Dev: dev, Addr: iova, Wanted: want, Write: write}
+	u.faults = append(u.faults, f)
+	return f
+}
+
 func (u *IOMMU) translateLocked(dev int, iova IOVA, write bool) (mem.PhysAddr, error) {
 	u.Translations++
+	u.transC.Inc()
 	d := u.domains[dev]
 	if d == nil {
-		u.BlockedDMAs++
-		f := Fault{Dev: dev, Addr: iova, Wanted: permFor(write), Write: write}
-		u.faults = append(u.faults, f)
-		return 0, f
+		return 0, u.faultLocked(dev, iova, permFor(write), write)
 	}
 	if d.Passthrough {
 		return mem.PhysAddr(iova), nil
@@ -32,10 +40,7 @@ func (u *IOMMU) translateLocked(dev int, iova IOVA, write bool) (mem.PhysAddr, e
 	need := permFor(write)
 	if e, ok := u.tlb.lookup(dev, iova); ok {
 		if e.perm&need == 0 {
-			u.BlockedDMAs++
-			f := Fault{Dev: dev, Addr: iova, Wanted: need, Write: write}
-			u.faults = append(u.faults, f)
-			return 0, f
+			return 0, u.faultLocked(dev, iova, need, write)
 		}
 		if e.huge {
 			return e.pfn.Addr() + mem.PhysAddr(iova&IOVA(mem.HugePageMask)), nil
@@ -45,16 +50,10 @@ func (u *IOMMU) translateLocked(dev int, iova IOVA, write bool) (mem.PhysAddr, e
 	// IOTLB miss: walk the page tables.
 	e := d.walk(iova, false)
 	if e == nil || !e.present {
-		u.BlockedDMAs++
-		f := Fault{Dev: dev, Addr: iova, Wanted: need, Write: write}
-		u.faults = append(u.faults, f)
-		return 0, f
+		return 0, u.faultLocked(dev, iova, need, write)
 	}
 	if e.perm&need == 0 {
-		u.BlockedDMAs++
-		f := Fault{Dev: dev, Addr: iova, Wanted: need, Write: write}
-		u.faults = append(u.faults, f)
-		return 0, f
+		return 0, u.faultLocked(dev, iova, need, write)
 	}
 	u.tlb.insert(dev, iova, e.huge, e.pfn, e.perm)
 	if e.huge {

@@ -1,6 +1,10 @@
 package iommu
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/asplos18/damn/internal/stats"
+)
 
 // The OS controls the IOTLB through an *invalidation queue* — "a cyclic
 // buffer from which the IOMMU reads commands" (§3 of the paper). The
@@ -67,6 +71,14 @@ type InvalidationQueue struct {
 
 	Submitted uint64
 	Processed uint64
+
+	// Observability (nil-safe handles; see SetStats).
+	submittedC *stats.Counter
+	processedC *stats.Counter
+	wrapDrainC *stats.Counter
+	rejectedC  *stats.Counter
+	depthHist  *stats.Histogram
+	drainHist  *stats.Histogram
 }
 
 // NewInvalidationQueue builds a queue feeding the given IOTLB.
@@ -74,25 +86,42 @@ func NewInvalidationQueue(tlb *IOTLB) *InvalidationQueue {
 	return &InvalidationQueue{tlb: tlb}
 }
 
+// SetStats attaches a metrics registry: command counts, the queue-depth
+// distribution observed at submit, and the batch sizes the hardware drains.
+func (q *InvalidationQueue) SetStats(r *stats.Registry) {
+	q.submittedC = r.Counter("iommu", "invq_submitted")
+	q.processedC = r.Counter("iommu", "invq_processed")
+	q.wrapDrainC = r.Counter("iommu", "invq_wrap_drains")
+	q.rejectedC = r.Counter("iommu", "invq_rejected")
+	q.depthHist = r.Histogram("iommu", "invq_depth")
+	q.drainHist = r.Histogram("iommu", "invq_drain_batch")
+}
+
 // Pending reports queued, not-yet-executed commands.
 func (q *InvalidationQueue) Pending() int { return q.count }
 
 // Submit enqueues a command; it does NOT take effect until the hardware
 // drains the queue. A full queue forces the OS to drain synchronously
-// first (as the VT-d driver does when the queue wraps).
+// first (as the VT-d driver does when the queue wraps). Validation runs
+// BEFORE the wrap-handling, so an invalid command is rejected outright and
+// can never trigger a spurious synchronous drain.
 func (q *InvalidationQueue) Submit(cmd Command) error {
+	if cmd.Kind == InvRange && cmd.Size <= 0 {
+		q.rejectedC.Inc()
+		return fmt.Errorf("iommu: range invalidation with size %d", cmd.Size)
+	}
 	if q.count == InvQueueDepth {
 		// Hardware consumes commands far faster than software can
 		// produce them in practice; model the wrap case by draining.
+		q.wrapDrainC.Inc()
 		q.Drain()
 	}
-	if cmd.Kind == InvRange && cmd.Size <= 0 {
-		return fmt.Errorf("iommu: range invalidation with size %d", cmd.Size)
-	}
+	q.depthHist.Observe(float64(q.count))
 	q.buf[q.tail] = cmd
 	q.tail = (q.tail + 1) % InvQueueDepth
 	q.count++
 	q.Submitted++
+	q.submittedC.Inc()
 	return nil
 }
 
@@ -108,6 +137,10 @@ func (q *InvalidationQueue) Drain() int {
 		q.execute(cmd)
 		n++
 		q.Processed++
+	}
+	if n > 0 {
+		q.processedC.Add(uint64(n))
+		q.drainHist.Observe(float64(n))
 	}
 	return n
 }

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"github.com/asplos18/damn/internal/mem"
+	"github.com/asplos18/damn/internal/stats"
 )
 
 // IOVA is an I/O virtual address. The usable space is 48 bits, and DAMN
@@ -107,6 +108,26 @@ type IOMMU struct {
 	Unmappings   uint64 // unmap operations
 	Translations uint64 // DMA page translations attempted
 	BlockedDMAs  uint64
+
+	// Observability (nil-safe handles; see SetStats).
+	mapC     *stats.Counter
+	unmapC   *stats.Counter
+	transC   *stats.Counter
+	blockedC *stats.Counter
+}
+
+// SetStats attaches a metrics registry to the IOMMU and its IOTLB and
+// invalidation queue, so a run's translation, invalidation and fault
+// activity is exported alongside every other layer.
+func (u *IOMMU) SetStats(r *stats.Registry) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.mapC = r.Counter("iommu", "mappings")
+	u.unmapC = r.Counter("iommu", "unmappings")
+	u.transC = r.Counter("iommu", "translations")
+	u.blockedC = r.Counter("iommu", "blocked_dmas")
+	u.tlb.SetStats(r)
+	u.invq.SetStats(r)
 }
 
 // New creates an IOMMU over the given physical memory.
@@ -198,6 +219,7 @@ func (u *IOMMU) Map(dev int, iova IOVA, pa mem.PhysAddr, size int, perm Perm) er
 	d.mappedPages += int64(pages)
 	d.everMapped += int64(pages)
 	u.Mappings++
+	u.mapC.Inc()
 	return nil
 }
 
@@ -228,6 +250,7 @@ func (u *IOMMU) MapHuge(dev int, iova IOVA, pa mem.PhysAddr, perm Perm) error {
 	d.mappedPages += pages
 	d.everMapped += pages
 	u.Mappings++
+	u.mapC.Inc()
 	return nil
 }
 
@@ -256,6 +279,7 @@ func (u *IOMMU) Unmap(dev int, iova IOVA, size int) error {
 	}
 	d.mappedPages -= int64(pages)
 	u.Unmappings++
+	u.unmapC.Inc()
 	return nil
 }
 
@@ -274,6 +298,7 @@ func (u *IOMMU) UnmapHuge(dev int, iova IOVA) error {
 	*e = pte{}
 	d.mappedPages -= int64(mem.HugePageSize / mem.PageSize)
 	u.Unmappings++
+	u.unmapC.Inc()
 	return nil
 }
 

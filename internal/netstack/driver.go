@@ -9,6 +9,7 @@ import (
 	"github.com/asplos18/damn/internal/mem"
 	"github.com/asplos18/damn/internal/perf"
 	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/stats"
 )
 
 // Driver is the NIC driver: it keeps RX rings filled with mapped buffers,
@@ -34,6 +35,19 @@ type Driver struct {
 	RxDelivered uint64
 	RxDropped   uint64 // completions with DMA faults
 	TxCompleted uint64
+
+	// Observability (nil-safe handles; see SetStats).
+	rxDelivC *stats.Counter
+	rxDropC  *stats.Counter
+	txDoneC  *stats.Counter
+}
+
+// SetStats attaches a metrics registry mirroring the driver's delivery and
+// drop counters.
+func (d *Driver) SetStats(r *stats.Registry) {
+	d.rxDelivC = r.Counter("netstack", "rx_delivered")
+	d.rxDropC = r.Counter("netstack", "rx_dropped")
+	d.txDoneC = r.Counter("netstack", "tx_completed")
 }
 
 // rxBuf is the driver's per-posted-buffer state, carried through the ring
@@ -98,18 +112,21 @@ func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 			// Out of buffers: the ring shrinks; the NIC will park
 			// traffic (flow control) until memory frees up.
 			d.RxDropped++
+			d.rxDropC.Inc()
 		}
 		if comp.Written == 0 && comp.Seg.Len > 0 && len(comp.Seg.Header) > 0 {
 			// The DMA faulted (attack or misconfiguration): no
 			// packet to deliver; recycle the buffer.
 			d.k.FreeBuffer(t, rb.pa, rb.damn)
 			d.RxDropped++
+			d.rxDropC.Inc()
 			continue
 		}
 		skb := AdoptBuffer(d.k, d.nic.ID(), iommu.PermWrite, rb.pa, d.RxBufSize, rb.damn)
 		skb.SetReceived(comp.Seg.Len, comp.Written)
 		skb.Flow = comp.Seg.Flow
 		d.RxDelivered++
+		d.rxDelivC.Inc()
 		if d.OnDeliver != nil {
 			d.OnDeliver(t, ring, skb)
 		} else {
@@ -142,6 +159,7 @@ func (d *Driver) handleTXComplete(t *sim.Task, ring int, descs []device.TXDesc) 
 			panic("netstack: TX unmap failed: " + err.Error())
 		}
 		d.TxCompleted++
+		d.txDoneC.Inc()
 		if d.OnTxDone != nil {
 			d.OnTxDone(t, ring, skb)
 		} else {

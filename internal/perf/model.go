@@ -12,7 +12,10 @@
 // the simulation rather than being dialled in per scheme.
 package perf
 
-import "github.com/asplos18/damn/internal/sim"
+import (
+	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/stats"
+)
 
 // Model is the full parameter set of the simulated testbed.
 type Model struct {
@@ -290,4 +293,19 @@ func ChargeTime(c Charger, d sim.Time) {
 	if !IsNilCharger(c) {
 		c.ChargeTime(d)
 	}
+}
+
+// ChargeCat charges cycles and accounts them to a per-category accumulator
+// (a stats.FloatCounter such as "perf/cycles_unmap"), making the cost-model
+// spend attributable after a run. cat may be nil (stats off).
+func ChargeCat(c Charger, cat *stats.FloatCounter, cycles float64) {
+	Charge(c, cycles)
+	cat.Add(cycles)
+}
+
+// ChargeTimeCat charges a fixed hardware duration and accounts its
+// picoseconds to the per-category accumulator.
+func ChargeTimeCat(c Charger, cat *stats.FloatCounter, d sim.Time) {
+	ChargeTime(c, d)
+	cat.Add(float64(d))
 }

@@ -135,6 +135,19 @@ func (c *Core) dispatch() {
 		c.busy += d
 		c.freeAt = t.start + d
 		c.running = false
+		if t.Interrupt {
+			c.eng.irqCount.Inc()
+		} else {
+			c.eng.taskCount.Inc()
+		}
+		c.eng.taskHist.Observe(float64(d))
+		if tr := c.eng.tracer; tr != nil {
+			name := "task"
+			if t.Interrupt {
+				name = "irq"
+			}
+			tr.Span(c.eng.tracePID, c.ID, name, "core", int64(t.start), int64(d))
+		}
 		c.dispatch()
 	})
 }

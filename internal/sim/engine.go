@@ -17,6 +17,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"github.com/asplos18/damn/internal/stats"
 )
 
 // Time is simulated time in picoseconds. One cycle of a 2 GHz core is
@@ -47,6 +49,10 @@ type event struct {
 	at  Time
 	seq uint64 // tie-break so equal-time events run FIFO, deterministically
 	fn  func()
+	// cancelled events stay in the heap (removal from the middle of a
+	// binary heap is O(n)) but are skipped on pop: they neither execute,
+	// nor advance time, nor count as processed.
+	cancelled bool
 }
 
 type eventHeap []*event
@@ -71,11 +77,42 @@ type Engine struct {
 	rng    *rand.Rand
 
 	processed uint64
+	cancelled int // cancelled events still sitting in the heap
+
+	// Observability (optional): metric handles are nil-safe, so the hot
+	// loop below needs no branches when stats are off.
+	stats     *stats.Registry
+	evCounter *stats.Counter
+	taskCount *stats.Counter
+	irqCount  *stats.Counter
+	taskHist  *stats.Histogram
+	tracer    *stats.Tracer
+	tracePID  int
 }
 
 // NewEngine returns an engine at time zero with a deterministic RNG.
 func NewEngine(seed int64) *Engine {
 	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetStats attaches a metrics registry: the engine counts processed events
+// and cores record task counts and duration distributions into it.
+func (e *Engine) SetStats(r *stats.Registry) {
+	e.stats = r
+	e.evCounter = r.Counter("sim", "events_processed")
+	e.taskCount = r.Counter("sim", "tasks")
+	e.irqCount = r.Counter("sim", "irq_tasks")
+	e.taskHist = r.Histogram("sim", "task_ps")
+}
+
+// Stats returns the attached registry (nil when none).
+func (e *Engine) Stats() *stats.Registry { return e.stats }
+
+// SetTracer attaches a trace sink under the given trace process ID; cores
+// emit one span per executed task (tid = core ID).
+func (e *Engine) SetTracer(t *stats.Tracer, pid int) {
+	e.tracer = t
+	e.tracePID = pid
 }
 
 // Now returns the current simulated time.
@@ -84,32 +121,54 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at absolute simulated time t (>= now).
-func (e *Engine) At(t Time, fn func()) {
+// schedule enqueues fn at absolute time t (>= now) and returns the heap
+// entry so callers that may cancel (Every) can reach it.
+func (e *Engine) schedule(t Time, fn func()) *event {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
 }
+
+// cancel neutralizes a queued event: it will be discarded on pop without
+// executing, advancing time, or counting as processed.
+func (e *Engine) cancel(ev *event) {
+	if ev != nil && !ev.cancelled {
+		ev.cancelled = true
+		e.cancelled++
+	}
+}
+
+// At schedules fn to run at absolute simulated time t (>= now).
+func (e *Engine) At(t Time, fn func()) { e.schedule(t, fn) }
 
 // After schedules fn to run d after the current time.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
 // Every schedules fn to run periodically with the given period until the
-// returned stop function is called.
+// returned stop function is called. Stop cancels the ticker's pending heap
+// event, so a stopped ticker no longer shows up in Pending() and never
+// inflates Processed(). Stopping from inside fn is allowed.
 func (e *Engine) Every(period Time, fn func()) (stop func()) {
 	stopped := false
+	var cur *event
 	var tick func()
 	tick = func() {
-		if stopped {
-			return
-		}
+		cur = nil
 		fn()
-		e.After(period, tick)
+		if !stopped {
+			cur = e.schedule(e.now+period, tick)
+		}
 	}
-	e.After(period, tick)
-	return func() { stopped = true }
+	cur = e.schedule(e.now+period, tick)
+	return func() {
+		stopped = true
+		e.cancel(cur)
+		cur = nil
+	}
 }
 
 // Run processes events until the queue drains or simulated time reaches
@@ -119,6 +178,11 @@ func (e *Engine) Run(until Time) uint64 {
 	var n uint64
 	for len(e.events) > 0 {
 		next := e.events[0]
+		if next.cancelled {
+			heap.Pop(&e.events)
+			e.cancelled--
+			continue
+		}
 		if next.at > until {
 			break
 		}
@@ -131,6 +195,7 @@ func (e *Engine) Run(until Time) uint64 {
 		e.now = until
 	}
 	e.processed += n
+	e.evCounter.Add(n)
 	return n
 }
 
@@ -139,16 +204,22 @@ func (e *Engine) RunUntilIdle() uint64 {
 	var n uint64
 	for len(e.events) > 0 {
 		next := heap.Pop(&e.events).(*event)
+		if next.cancelled {
+			e.cancelled--
+			continue
+		}
 		e.now = next.at
 		next.fn()
 		n++
 	}
 	e.processed += n
+	e.evCounter.Add(n)
 	return n
 }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports the number of queued live events (cancelled tickers
+// excluded).
+func (e *Engine) Pending() int { return len(e.events) - e.cancelled }
 
 // Processed reports the total number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"testing"
+
+	"github.com/asplos18/damn/internal/stats"
 )
 
 func TestEngineOrdering(t *testing.T) {
@@ -275,5 +277,105 @@ func TestDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
 		}
+	}
+}
+
+func TestEveryStopRemovesPendingEvent(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	stop := e.Every(10*Millisecond, func() { count++ })
+	e.Run(25 * Millisecond) // ticks at 10ms and 20ms; next is queued for 30ms
+	if count != 2 {
+		t.Fatalf("ticks = %d, want 2", count)
+	}
+	before := e.Processed()
+	stop()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after stop, want 0 (stale ticker event left in heap)", e.Pending())
+	}
+	if n := e.RunUntilIdle(); n != 0 {
+		t.Fatalf("RunUntilIdle executed %d events after stop, want 0", n)
+	}
+	if e.Processed() != before {
+		t.Fatalf("Processed advanced from %d to %d on a stopped ticker", before, e.Processed())
+	}
+	if count != 2 {
+		t.Fatalf("stopped ticker fired: count = %d", count)
+	}
+	if e.Now() != 25*Millisecond {
+		t.Fatalf("cancelled event advanced time to %v", e.Now())
+	}
+	stop() // idempotent
+}
+
+func TestEveryStopFromInsideCallback(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var stop func()
+	stop = e.Every(10*Millisecond, func() {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	e.RunUntilIdle()
+	if count != 3 {
+		t.Fatalf("ticks = %d, want 3 (stop from inside callback must halt re-arm)", count)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestEveryStopDoesNotCancelOtherEvents(t *testing.T) {
+	e := NewEngine(1)
+	stop := e.Every(10*Millisecond, func() {})
+	ran := false
+	e.At(30*Millisecond, func() { ran = true })
+	stop()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.RunUntilIdle()
+	if !ran {
+		t.Fatal("unrelated event did not run")
+	}
+}
+
+func TestEngineStatsCountsEvents(t *testing.T) {
+	e := NewEngine(1)
+	r := stats.NewRegistry()
+	e.SetStats(r)
+	for i := 0; i < 4; i++ {
+		e.After(Time(i)*Microsecond, func() {})
+	}
+	e.RunUntilIdle()
+	if got := r.Counter("sim", "events_processed").Value(); got != 4 {
+		t.Fatalf("sim/events_processed = %d, want 4", got)
+	}
+}
+
+func TestCoreTaskStatsAndTrace(t *testing.T) {
+	e := NewEngine(1)
+	r := stats.NewRegistry()
+	tr := stats.NewTracer()
+	e.SetStats(r)
+	e.SetTracer(tr, tr.Process("test"))
+	c := NewCore(e, 0, 0, 2e9)
+	c.Submit(false, func(t *Task) { t.Charge(2000) })
+	c.Submit(true, func(t *Task) { t.Charge(1000) })
+	e.RunUntilIdle()
+	if got := r.Counter("sim", "tasks").Value(); got != 1 {
+		t.Fatalf("sim/tasks = %d, want 1", got)
+	}
+	if got := r.Counter("sim", "irq_tasks").Value(); got != 1 {
+		t.Fatalf("sim/irq_tasks = %d, want 1", got)
+	}
+	if got := r.Histogram("sim", "task_ps").Count(); got != 2 {
+		t.Fatalf("sim/task_ps count = %d, want 2", got)
+	}
+	// Metadata event + two spans.
+	if tr.Len() != 3 {
+		t.Fatalf("trace has %d events, want 3", tr.Len())
 	}
 }

@@ -1,0 +1,385 @@
+// Package stats is the simulator-wide observability layer: a
+// zero-dependency metrics registry (typed counters, gauges and log-scale
+// histograms, keyed by component) plus an optional Chrome trace_event sink
+// (trace.go). Every layer of the simulated machine — the event engine, the
+// perf cost model, the IOMMU, DAMN, the DMA API and the devices — records
+// into one Registry owned by its testbed.Machine, so every simulated cycle
+// charge, IOTLB invalidation and cache hit is attributable after a run.
+//
+// The registry is safe for concurrent use (counters and gauges are atomics,
+// histograms take a small lock), and metric handles are cheap to cache: the
+// hot layers look their counters up once and bump them with a single atomic
+// add per event. All methods are nil-safe on the metric types so callers
+// never need to guard instrumentation sites.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// FloatCounter accumulates a float64 total (cycle charges are fractional).
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates v into the counter.
+func (c *FloatCounter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a point-in-time integer metric (queue depths, footprints).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the bucket count of a log-scale histogram: bucket i counts
+// observations v with 2^(i-1) <= v < 2^i (bucket 0 counts v < 1), covering
+// the full uint64 range.
+const histBuckets = 65
+
+// Histogram is a log2-bucketed distribution of non-negative observations
+// (latencies in picoseconds, queue depths, batch sizes).
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// Observe records one observation. Negative values clamp to zero.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	b := 0
+	if v >= 1 {
+		b = int(math.Floor(math.Log2(v))) + 1
+		if b >= histBuckets {
+			b = histBuckets - 1
+		}
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.buckets[b]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// snapshot returns the exported form. Only non-empty buckets are kept, keyed
+// by their upper bound (2^i).
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{Le: math.Pow(2, float64(i)), Count: n})
+	}
+	return s
+}
+
+// metricKey identifies one metric: the component that owns it plus its name.
+type metricKey struct {
+	component string
+	name      string
+}
+
+func (k metricKey) String() string { return k.component + "/" + k.name }
+
+// Registry holds every metric of one simulated machine.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[metricKey]*Counter
+	floats   map[metricKey]*FloatCounter
+	gauges   map[metricKey]*Gauge
+	hists    map[metricKey]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[metricKey]*Counter),
+		floats:   make(map[metricKey]*FloatCounter),
+		gauges:   make(map[metricKey]*Gauge),
+		hists:    make(map[metricKey]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter. A nil registry
+// returns a nil handle, whose methods are no-ops.
+func (r *Registry) Counter(component, name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{component, name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// FloatCounter returns (creating if needed) the named float accumulator.
+func (r *Registry) FloatCounter(component, name string) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{component, name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.floats[k]
+	if !ok {
+		c = &FloatCounter{}
+		r.floats[k] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(component, name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{component, name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(component, name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{component, name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// HistogramBucket is one exported log2 bucket: Count observations <= Le.
+type HistogramBucket struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramSnapshot is the exported form of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Min     float64           `json:"min"`
+	Max     float64           `json:"max"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time export of a registry, keyed by
+// "component/name", ready for JSON encoding.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Floats     map[string]float64           `json:"floats,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot exports every metric. A nil registry exports an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Floats:     map[string]float64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, c := range r.counters {
+		s.Counters[k.String()] = c.Value()
+	}
+	for k, c := range r.floats {
+		s.Floats[k.String()] = c.Value()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k.String()] = g.Value()
+	}
+	for k, h := range r.hists {
+		s.Histograms[k.String()] = h.snapshot()
+	}
+	return s
+}
+
+// Counter returns a counter's value from the snapshot ("component/name").
+func (s Snapshot) Counter(key string) uint64 { return s.Counters[key] }
+
+// WriteJSON encodes the snapshot, indented, to w.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Keys returns every metric key in the snapshot, sorted — handy for stable
+// textual dumps.
+func (s Snapshot) Keys() []string {
+	var keys []string
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	for k := range s.Floats {
+		keys = append(keys, k)
+	}
+	for k := range s.Gauges {
+		keys = append(keys, k)
+	}
+	for k := range s.Histograms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String renders a compact human-readable dump (debugging aid).
+func (s Snapshot) String() string {
+	var out string
+	for _, k := range s.Keys() {
+		switch {
+		case hasKey(s.Counters, k):
+			out += fmt.Sprintf("%s = %d\n", k, s.Counters[k])
+		case hasKey(s.Floats, k):
+			out += fmt.Sprintf("%s = %.1f\n", k, s.Floats[k])
+		case hasKey(s.Gauges, k):
+			out += fmt.Sprintf("%s = %d\n", k, s.Gauges[k])
+		default:
+			h := s.Histograms[k]
+			out += fmt.Sprintf("%s = {n=%d mean=%.1f max=%.1f}\n", k, h.Count, meanOf(h), h.Max)
+		}
+	}
+	return out
+}
+
+func hasKey[V any](m map[string]V, k string) bool { _, ok := m[k]; return ok }
+
+func meanOf(h HistogramSnapshot) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}

@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeFloat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("iommu", "iotlb_hits")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("iommu", "iotlb_hits") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("iommu", "invq_depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+
+	f := r.FloatCounter("perf", "cycles_unmap")
+	f.Add(1.5)
+	f.Add(2.25)
+	if got := f.Value(); got != 3.75 {
+		t.Fatalf("float counter = %v, want 3.75", got)
+	}
+}
+
+func TestNilRegistryAndMetricsAreNoops(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "b").Inc()
+	r.FloatCounter("a", "b").Add(1)
+	r.Gauge("a", "b").Set(1)
+	r.Histogram("a", "b").Observe(1)
+	if got := r.Counter("a", "b").Value(); got != 0 {
+		t.Fatalf("nil counter = %d, want 0", got)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %v", snap)
+	}
+	var tr *Tracer
+	tr.Span(1, 1, "x", "", 0, 10)
+	tr.CounterEvent(1, "c", 0, 1)
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer recorded events")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sim", "task_ps")
+	for _, v := range []float64{0, 0.5, 1, 2, 3, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Mean(), (0+0.5+1+2+3+1000)/6; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	s := h.snapshot()
+	if s.Min != 0 || s.Max != 1000 {
+		t.Fatalf("min/max = %v/%v, want 0/1000", s.Min, s.Max)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 6 {
+		t.Fatalf("bucket counts sum to %d, want 6", total)
+	}
+	// An observation far beyond 2^64 clamps into the last bucket.
+	h.Observe(math.MaxFloat64)
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("device", "rx_segments").Add(42)
+	r.Gauge("damn", "footprint_bytes").Set(1 << 20)
+	r.FloatCounter("perf", "cycles_copy").Add(99.5)
+	r.Histogram("iommu", "invq_drain_batch").Observe(8)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v", err)
+	}
+	if back.Counter("device/rx_segments") != 42 {
+		t.Fatalf("round-tripped counter = %d, want 42", back.Counter("device/rx_segments"))
+	}
+	if back.Gauges["damn/footprint_bytes"] != 1<<20 {
+		t.Fatal("gauge lost in round trip")
+	}
+	if back.Histograms["iommu/invq_drain_batch"].Count != 1 {
+		t.Fatal("histogram lost in round trip")
+	}
+	if len(r.Snapshot().Keys()) != 4 {
+		t.Fatalf("keys = %v, want 4 entries", r.Snapshot().Keys())
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("sim", "events").Inc()
+				r.FloatCounter("perf", "cycles").Add(0.5)
+				r.Histogram("sim", "dur").Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("sim", "events").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.FloatCounter("perf", "cycles").Value(); got != 4000 {
+		t.Fatalf("concurrent float counter = %v, want 4000", got)
+	}
+	if got := r.Histogram("sim", "dur").Count(); got != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestTracerChromeFormat(t *testing.T) {
+	tr := NewTracer()
+	pid := tr.Process("fig4/damn")
+	tr.ThreadName(pid, 0, "core0")
+	tr.Span(pid, 0, "task", "sim", 1_000_000, 2_000_000) // 1us..3us
+	tr.Instant(pid, 0, "flush", "dmaapi", 5_000_000)
+	tr.CounterEvent(pid, "invq_depth", 5_000_000, 12)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("trace has %d events, want 5", len(doc.TraceEvents))
+	}
+	var sawSpan bool
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			sawSpan = true
+			if ev["ts"].(float64) != 1.0 || ev["dur"].(float64) != 2.0 {
+				t.Fatalf("span ts/dur = %v/%v, want 1/2 us", ev["ts"], ev["dur"])
+			}
+		}
+	}
+	if !sawSpan {
+		t.Fatal("no complete event in trace")
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(3)
+	for i := 0; i < 10; i++ {
+		tr.Span(1, 0, "task", "", int64(i), 1)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", tr.Dropped())
+	}
+}

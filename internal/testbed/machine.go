@@ -15,6 +15,7 @@ import (
 	"github.com/asplos18/damn/internal/netstack"
 	"github.com/asplos18/damn/internal/perf"
 	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/stats"
 )
 
 // Scheme selects the IOMMU protection configuration of a machine, covering
@@ -61,6 +62,9 @@ type MachineConfig struct {
 	Cores int
 	// NoNIC skips NIC construction (NVMe-only experiments).
 	NoNIC bool
+	// Tracer, when non-nil, receives Chrome trace_event spans for every
+	// simulated task; each machine gets its own trace process.
+	Tracer *stats.Tracer
 }
 
 // Machine is one fully assembled testbed.
@@ -78,6 +82,10 @@ type Machine struct {
 	Kernel *netstack.Kernel
 	NIC    *device.NIC
 	Driver *netstack.Driver
+
+	// Stats collects metrics from every layer of this machine; always
+	// non-nil (the handles are cheap atomics even when nobody reads them).
+	Stats *stats.Registry
 
 	// Deferred is non-nil when the active (or fallback) scheme batches
 	// invalidations — exposed for window inspection.
@@ -136,6 +144,16 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	ma := &Machine{
 		Cfg: cfg, Sim: se, Mem: m, Slab: mem.NewSlab(m), IOMMU: u,
 		Model: model, MemBW: membw, Cores: cores,
+		Stats: stats.NewRegistry(),
+	}
+	se.SetStats(ma.Stats)
+	u.SetStats(ma.Stats)
+	if cfg.Tracer != nil {
+		pid := cfg.Tracer.Process(string(cfg.Scheme))
+		for _, c := range cores {
+			cfg.Tracer.ThreadName(pid, c.ID, fmt.Sprintf("core-%d", c.ID))
+		}
+		se.SetTracer(cfg.Tracer, pid)
 	}
 
 	nicDomain := u.AttachDevice(NICDeviceID)
@@ -179,6 +197,7 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	}
 
 	ma.DMA = dmaapi.NewEngine(se, m, u, model, scheme)
+	ma.DMA.SetStats(ma.Stats)
 
 	if useDamn {
 		dcfg := damncore.DefaultConfig(coreNodes)
@@ -195,6 +214,7 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 			return nil, err
 		}
 		ma.Damn = d
+		d.SetStats(ma.Stats)
 		// §5.4: under memory pressure the OS invokes DAMN's shrinker
 		// to reclaim chunks cached in magazines and the depot.
 		m.RegisterShrinker(func() int64 { return d.Shrink(damncore.Ctx{}) })
@@ -216,11 +236,16 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 			RingSize: cfg.RingSize, TxRing: 256, Rings: model.NumCores,
 			WireGbps: model.WireGbpsPerPort, PCIeGbps: model.PCIeGbpsPerDir,
 		})
+		ma.NIC.SetStats(ma.Stats)
 		ma.Driver = netstack.NewDriver(ma.Kernel, ma.NIC)
+		ma.Driver.SetStats(ma.Stats)
 		ma.Driver.OnTxDone = netstack.DispatchTxDone
 	}
 	return ma, nil
 }
+
+// StatsSnapshot captures the machine's metrics at the current simulated time.
+func (ma *Machine) StatsSnapshot() stats.Snapshot { return ma.Stats.Snapshot() }
 
 // FillAllRings primes every RX ring before a run.
 func (ma *Machine) FillAllRings() error {

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/stats"
+	"github.com/asplos18/damn/internal/testbed"
+)
+
+// TestNetperfStatsCoverage runs a short DAMN netperf and checks the metrics
+// registry actually observed the run: the IOTLB saw traffic (hits and
+// misses both nonzero), the DMA cache served allocations from magazines,
+// and every instrumented layer contributed at least one counter.
+func TestNetperfStatsCoverage(t *testing.T) {
+	ma, err := testbed.NewMachine(testbed.MachineConfig{
+		Scheme: testbed.SchemeDAMN, MemBytes: 512 << 20, RingSize: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunNetperf(NetperfConfig{
+		Machine: ma,
+		RXCores: []int{0, 0},
+		Warmup:  1 * sim.Millisecond, Duration: 5 * sim.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := ma.StatsSnapshot()
+
+	for _, key := range []string{
+		"iommu/iotlb_hits",
+		"iommu/iotlb_misses",
+		"damn/magazine_hits",
+		"damn/chunks_created",
+		"sim/events_processed",
+		"device/nic_rx_segments",
+		"dmaapi/maps_interposed",
+		"netstack/rx_delivered",
+	} {
+		if snap.Counter(key) == 0 {
+			t.Errorf("counter %q is zero after a DAMN netperf run", key)
+		}
+	}
+	hits, builds := snap.Counter("damn/magazine_hits"), snap.Counter("damn/chunk_builds")
+	t.Logf("DMA-cache hit rate: %d magazine hits, %d slow-path builds", hits, builds)
+	if snap.Floats["perf/cycles_damn_alloc"] <= 0 {
+		t.Error("no allocator cycles accounted")
+	}
+	if h, ok := snap.Histograms["device/nic_rx_segment_bytes"]; !ok || h.Count == 0 {
+		t.Error("RX segment-size histogram empty")
+	}
+	// Snapshots must round-trip through JSON (the -stats file format).
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back stats.Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counter("iommu/iotlb_hits") != snap.Counter("iommu/iotlb_hits") {
+		t.Fatal("counter lost in JSON round-trip")
+	}
+}
+
+// TestNetperfTraceOutput runs a traced machine and checks the emitted
+// document is a loadable Chrome trace_event file: valid JSON with metadata
+// records naming the process/threads and complete (ph "X") span events.
+func TestNetperfTraceOutput(t *testing.T) {
+	tr := stats.NewTracer()
+	ma, err := testbed.NewMachine(testbed.MachineConfig{
+		Scheme: testbed.SchemeDAMN, MemBytes: 512 << 20, RingSize: 32,
+		Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunNetperf(NetperfConfig{
+		Machine: ma,
+		RXCores: []int{0},
+		Warmup:  1 * sim.Millisecond, Duration: 2 * sim.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var meta, spans int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			spans++
+			if e.Dur <= 0 {
+				t.Fatalf("span %q has non-positive duration %v", e.Name, e.Dur)
+			}
+		}
+	}
+	if meta == 0 {
+		t.Error("no process/thread metadata in trace")
+	}
+	if spans == 0 {
+		t.Error("no task spans in trace")
+	}
+}
