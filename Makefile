@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench ci
+.PHONY: all fmt vet build test race bench chaos ci
 
 all: build
 
@@ -27,4 +27,9 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-ci: fmt vet build race
+# The chaos harness: workloads under deterministic fault injection, with
+# conservation audits and seed-replay checks, under the race detector.
+chaos:
+	$(GO) test -race -short -timeout 10m -run Chaos ./...
+
+ci: fmt vet build race chaos

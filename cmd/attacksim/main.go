@@ -22,6 +22,7 @@ import (
 
 	"github.com/asplos18/damn/internal/device"
 	"github.com/asplos18/damn/internal/dmaapi"
+	"github.com/asplos18/damn/internal/faults"
 	"github.com/asplos18/damn/internal/iommu"
 	"github.com/asplos18/damn/internal/mem"
 	"github.com/asplos18/damn/internal/netstack"
@@ -37,9 +38,16 @@ type outcome struct {
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
+	faultRate := flag.Float64("faults", 0, "per-visit fault-injection probability for every fault kind (0 = off)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
 	statsOut := flag.String("stats", "", "write per-scheme metrics snapshots to this JSON file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the attacked machines")
 	flag.Parse()
+
+	var faultCfg *faults.Config
+	if *faultRate > 0 {
+		faultCfg = &faults.Config{Seed: *faultSeed, Rates: faults.UniformRates(*faultRate)}
+	}
 
 	var tracer *stats.Tracer
 	if *traceOut != "" {
@@ -51,7 +59,7 @@ func main() {
 	fmt.Println()
 	exitCode := 0
 	for _, scheme := range testbed.AllSchemes {
-		outs, snap, err := attack(scheme, *seed, tracer)
+		outs, snap, err := attack(scheme, *seed, tracer, faultCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", scheme, err)
 			os.Exit(1)
@@ -106,10 +114,10 @@ func writeJSONFile(path string, write func(*json.Encoder) error) error {
 	return f.Close()
 }
 
-func attack(scheme testbed.Scheme, seed int64, tracer *stats.Tracer) ([]outcome, stats.Snapshot, error) {
+func attack(scheme testbed.Scheme, seed int64, tracer *stats.Tracer, faultCfg *faults.Config) ([]outcome, stats.Snapshot, error) {
 	ma, err := testbed.NewMachine(testbed.MachineConfig{
 		Scheme: scheme, MemBytes: 128 << 20, Seed: seed, RingSize: 8,
-		Tracer: tracer,
+		Tracer: tracer, Faults: faultCfg,
 	})
 	if err != nil {
 		return nil, stats.Snapshot{}, err

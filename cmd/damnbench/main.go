@@ -3,14 +3,21 @@
 //
 // Usage:
 //
-//	damnbench [-quick] [-seed N] [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11]
-//	          [-stats out.json] [-trace out.trace]
+//	damnbench [-quick] [-seed N] [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|chaos]
+//	          [-faults P] [-fault-seed N] [-stats out.json] [-trace out.trace]
 //
 // The default full-fidelity run takes a few minutes; -quick shrinks the
 // measurement windows for a fast smoke pass. -stats writes a JSON document
 // with every machine's metrics registry keyed "<figure>/<scheme>"; -trace
 // writes a Chrome trace_event file (load in chrome://tracing or Perfetto)
 // with one process per simulated machine and one thread per core.
+//
+// -faults P arms the deterministic fault-injection plane on every machine:
+// each fault kind (link drop/corrupt/duplicate/reorder, DMA faults,
+// invalidation time-outs, IOVA/memory exhaustion, lost/delayed completions)
+// fires with per-visit probability P on the schedule rooted at -fault-seed.
+// -exp chaos runs the dedicated chaos harness and prints the injected-fault
+// and recovery evidence.
 package main
 
 import (
@@ -28,12 +35,15 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "short measurement windows")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5")
+	faultRate := flag.Float64("faults", 0, "per-visit fault-injection probability for every fault kind (0 = off); see internal/faults")
+	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule (used with -faults or -exp chaos)")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5, chaos")
 	statsOut := flag.String("stats", "", "write per-figure metrics snapshots to this JSON file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every simulated machine")
 	flag.Parse()
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed,
+		FaultRate: *faultRate, FaultSeed: *faultSeed}
 	var snaps map[string]stats.Snapshot
 	if *statsOut != "" {
 		snaps = map[string]stats.Snapshot{}
@@ -105,11 +115,17 @@ func main() {
 			rows, err := experiments.Footnote5(opts)
 			return experiments.RenderFootnote5(rows), err
 		}},
+		// chaos is the robustness harness, not a paper figure: run it only
+		// when asked for by name, so -exp all stays the paper's output.
+		{"chaos", func() (string, error) {
+			rows, err := experiments.Chaos(opts)
+			return experiments.RenderChaos(rows), err
+		}},
 	}
 
 	ran := 0
 	for _, j := range jobs {
-		if !all && !want[j.name] {
+		if !want[j.name] && (!all || j.name == "chaos") {
 			continue
 		}
 		ran++

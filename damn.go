@@ -149,8 +149,7 @@ func (b *PacketBuffer) Free() error {
 	if err := k.DMA.Unmap(nil, testbed.NICDeviceID, b.DMAAddr, b.Size, b.dir); err != nil {
 		return err
 	}
-	k.FreeBuffer(nil, b.Addr, b.damn)
-	return nil
+	return k.FreeBuffer(nil, b.Addr, b.damn)
 }
 
 // Bytes exposes the buffer's kernel-side contents.

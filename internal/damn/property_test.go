@@ -10,56 +10,14 @@ import (
 	"github.com/asplos18/damn/internal/stats"
 )
 
-// auditChunks checks the chunk-conservation invariants that must hold at
-// every quiescent point, whatever interleaving of Alloc/Free/Shrink got us
-// here:
-//
-//   - the registry holds exactly ChunksCreated-ChunksReleased live chunks;
-//   - no two live chunks overlap (no duplication of pages or IOVAs);
-//   - free registry slots and live slots partition the registry;
-//   - FootprintBytes matches the live-chunk count exactly.
-//
-// It returns the number of live chunks.
+// auditChunks runs the exported conservation Audit (see audit.go) and fails
+// the test on the first violated invariant. It returns the number of live
+// chunks.
 func auditChunks(t *testing.T, f *fixture) int {
 	t.Helper()
-	d := f.d
-	d.mu.Lock()
-	defer d.mu.Unlock()
-
-	live := 0
-	seenPA := map[mem.PhysAddr]bool{}
-	seenIOVA := map[iommu.IOVA]bool{}
-	for i, ch := range d.registry {
-		if ch == nil {
-			continue
-		}
-		live++
-		if ch.regIdx != i+1 {
-			t.Fatalf("registry[%d] holds chunk with regIdx %d", i, ch.regIdx)
-		}
-		if seenPA[ch.pa] {
-			t.Fatalf("chunk at %#x registered twice", ch.pa)
-		}
-		seenPA[ch.pa] = true
-		if !ch.huge && seenIOVA[ch.iova] {
-			t.Fatalf("IOVA %#x registered twice", ch.iova)
-		}
-		seenIOVA[ch.iova] = true
-	}
-	for _, slot := range d.freeSlots {
-		if d.registry[slot] != nil {
-			t.Fatalf("free slot %d still holds a chunk", slot)
-		}
-	}
-	if len(d.freeSlots) != len(d.registry)-live {
-		t.Fatalf("slot accounting broken: %d free + %d live != %d total",
-			len(d.freeSlots), live, len(d.registry))
-	}
-	if got, want := d.ChunksCreated-d.ChunksReleased, uint64(live); got != want {
-		t.Fatalf("created-released = %d but %d chunks live", got, want)
-	}
-	if got, want := d.footprint, int64(live)*int64(d.ChunkBytes()); got != want {
-		t.Fatalf("footprint %d bytes, want %d for %d live chunks", got, want, live)
+	live, err := f.d.Audit()
+	if err != nil {
+		t.Fatal(err)
 	}
 	return live
 }

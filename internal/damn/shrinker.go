@@ -74,7 +74,7 @@ func (d *DAMN) releaseChunk(x Ctx, c *dmaCache, ch *chunk) int64 {
 	if err := d.iommu.InvQ().Submit(iommu.Command{Kind: iommu.InvRange, Dev: c.key.dev, Base: ch.iova, Size: d.ChunkBytes()}); err != nil {
 		panic("damn: shrinker invalidation submit failed: " + err.Error())
 	}
-	d.iommu.InvQ().Drain()
+	d.iommu.InvQ().DrainRetry(x.C, d.model.ITETimeout)
 	perf.ChargeTimeCat(x.C, d.teardownInvPS, d.model.IOTLBInvLatency)
 	// Recycle the identity-region IOVA slot.
 	if e, ok := iova.Decode(ch.iova); ok && !ch.huge {

@@ -11,6 +11,7 @@ package device
 import (
 	"fmt"
 
+	"github.com/asplos18/damn/internal/faults"
 	"github.com/asplos18/damn/internal/iommu"
 	"github.com/asplos18/damn/internal/perf"
 	"github.com/asplos18/damn/internal/sim"
@@ -46,6 +47,9 @@ type Segment struct {
 	// gigabytes through host RAM would only slow the simulation).
 	WritePayload bool
 	Payload      []byte // used when WritePayload
+	// Corrupt marks a frame mangled in flight (injected link fault); the
+	// NIC's hardware checksum validation flags it in the completion.
+	Corrupt bool
 }
 
 // RXCompletion is handed to the driver's interrupt handler.
@@ -53,6 +57,9 @@ type RXCompletion struct {
 	Desc    RXDesc
 	Seg     Segment
 	Written int // bytes the device wrote into the buffer
+	// BadCSum reports that the NIC's hardware checksum validation failed
+	// (corrupted frame); the driver must drop and recycle the buffer.
+	BadCSum bool
 }
 
 // NICConfig sizes the NIC model.
@@ -91,6 +98,7 @@ type NIC struct {
 
 	rings []*rxRing
 	txqs  []*txRing
+	inj   *faults.Injector
 
 	rxHandler func(t *sim.Task, ring int, comps []RXCompletion)
 	txHandler func(t *sim.Task, ring int, descs []TXDesc)
@@ -130,6 +138,14 @@ func (n *NIC) SetStats(r *stats.Registry) {
 type rxRing struct {
 	descs   []RXDesc
 	pending []Segment // flow-controlled backlog waiting for buffers
+	// missed holds completions whose interrupt was lost (injected
+	// ComplLoss); the driver's watchdog poll reaps them later.
+	missed []missedComp
+}
+
+type missedComp struct {
+	comp   RXCompletion
+	lostAt sim.Time
 }
 
 type txRing struct {
@@ -172,6 +188,11 @@ func NewNIC(se *sim.Engine, u *iommu.IOMMU, model *perf.Model, membw *sim.MemCon
 // ID returns the NIC's device index.
 func (n *NIC) ID() int { return n.Cfg.ID }
 
+// SetFaults attaches the machine's fault-injection plane: netem-style link
+// impairments on ingress (drop/corrupt/duplicate/reorder) and delayed/lost
+// completion interrupts on delivery.
+func (n *NIC) SetFaults(inj *faults.Injector) { n.inj = inj }
+
 // OnRX registers the driver's receive interrupt handler.
 func (n *NIC) OnRX(h func(t *sim.Task, ring int, comps []RXCompletion)) { n.rxHandler = h }
 
@@ -211,9 +232,28 @@ func (n *NIC) WireTXBacklog(port int) sim.Time { return n.txWire[port].Backlog(n
 // InjectRX simulates a segment arriving on a port, destined for a ring
 // (steered there by RSS). The wire, PCIe and memory-bandwidth resources
 // pace the DMA; the payload lands through the IOMMU; then the ring's core
-// takes an interrupt.
+// takes an interrupt. With fault injection on, the segment first passes
+// the netem-style link impairments: drop, corrupt, duplicate, reorder.
 func (n *NIC) InjectRX(port, ring int, seg Segment) {
+	if n.inj.Should(faults.LinkDrop) {
+		// Lost on the wire: consumes no host resources, leaves no trace
+		// but the injection counter — the stack sees a silent gap.
+		return
+	}
+	if n.inj.Should(faults.LinkCorrupt) {
+		seg.Corrupt = true
+	}
+	if n.inj.Should(faults.LinkDuplicate) {
+		// The duplicate pays its own wire time, like a real re-sent frame.
+		dup := seg
+		dupDone := n.rxWire[port].Reserve(n.se.Now(), float64(dup.Len))
+		n.se.At(dupDone, func() { n.tryDeliver(ring, dup) })
+	}
 	wireDone := n.rxWire[port].Reserve(n.se.Now(), float64(seg.Len))
+	if n.inj.Should(faults.LinkReorder) {
+		// Hold the segment back so traffic behind it overtakes.
+		wireDone += n.inj.Duration(faults.LinkReorder, 1*sim.Microsecond, 50*sim.Microsecond)
+	}
 	n.se.At(wireDone, func() { n.tryDeliver(ring, seg) })
 }
 
@@ -271,7 +311,19 @@ func (n *NIC) deliver(ring int, seg Segment) {
 	n.rxByteC.Add(uint64(seg.Len))
 	n.rxSizeH.Observe(float64(seg.Len))
 
-	comp := RXCompletion{Desc: desc, Seg: seg, Written: written}
+	comp := RXCompletion{Desc: desc, Seg: seg, Written: written, BadCSum: seg.Corrupt}
+	if n.inj.Should(faults.ComplLoss) {
+		// The interrupt is lost: the DMA happened but no handler runs.
+		// The completion sits in the ring until the driver's watchdog
+		// poll reaps it (ReapMissed).
+		r.missed = append(r.missed, missedComp{comp: comp, lostAt: done})
+		return
+	}
+	if n.inj.Should(faults.ComplDelay) {
+		extra := n.inj.Duration(faults.ComplDelay, 1*sim.Microsecond, 100*sim.Microsecond)
+		n.inj.ObserveRecovery(faults.ComplDelay, extra)
+		done += extra
+	}
 	core := n.cores[ring%len(n.cores)]
 	n.se.At(done, func() {
 		core.Submit(true, func(t *sim.Task) {
@@ -281,6 +333,32 @@ func (n *NIC) deliver(ring int, seg Segment) {
 		})
 	})
 }
+
+// ReapMissed pops the completions whose interrupts were lost on a ring —
+// the device-side half of the driver's NAPI-style watchdog poll. Recovery
+// latency (loss to reap) is recorded per completion.
+func (n *NIC) ReapMissed(ring int) []RXCompletion {
+	r := n.rings[ring]
+	if len(r.missed) == 0 {
+		return nil
+	}
+	now := n.se.Now()
+	comps := make([]RXCompletion, 0, len(r.missed))
+	for _, m := range r.missed {
+		comps = append(comps, m.comp)
+		lat := now - m.lostAt
+		if lat < 0 {
+			lat = 0
+		}
+		n.inj.ObserveRecovery(faults.ComplLoss, lat)
+	}
+	r.missed = r.missed[:0]
+	return comps
+}
+
+// MissedCompletions reports interrupt-lost completions awaiting the
+// watchdog on a ring.
+func (n *NIC) MissedCompletions(ring int) int { return len(n.rings[ring].missed) }
 
 // touchTranslations exercises the IOMMU translation for every page a
 // transfer spans (the functional DMA only materialises a prefix, but the

@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/asplos18/damn/internal/faults"
 	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/iova"
 	"github.com/asplos18/damn/internal/mem"
 	"github.com/asplos18/damn/internal/perf"
 	"github.com/asplos18/damn/internal/sim"
@@ -94,6 +96,7 @@ type Engine struct {
 
 	mu         sync.Mutex
 	interposer Interposer
+	inj        *faults.Injector
 
 	// everDMA tracks distinct physical frames that have ever been
 	// exposed to a device through this API (Fig 9's monotone curve).
@@ -155,6 +158,11 @@ func (e *Engine) Scheme() Scheme { return e.scheme }
 // SetInterposer registers the DAMN hook.
 func (e *Engine) SetInterposer(i Interposer) { e.interposer = i }
 
+// SetFaults attaches the machine's fault-injection plane: injected IOVA
+// exhaustion makes Map fail with an error wrapping iova.ErrExhausted, the
+// same failure a genuinely full address space produces.
+func (e *Engine) SetFaults(inj *faults.Injector) { e.inj = inj }
+
 // Map is dma_map: it passes ownership of [pa, pa+size) to the device and
 // returns the DMA address the driver must program into the device.
 func (e *Engine) Map(c perf.Charger, dev int, pa mem.PhysAddr, size int, dir Direction) (iommu.IOVA, error) {
@@ -163,6 +171,10 @@ func (e *Engine) Map(c perf.Charger, dev int, pa mem.PhysAddr, size int, dir Dir
 	}
 	e.MapCalls++
 	e.recordExposure(pa, size)
+	if e.inj.Should(faults.IOVAExhaust) {
+		return 0, fmt.Errorf("dmaapi: %w (injected) mapping %d bytes for dev %d",
+			iova.ErrExhausted, size, dev)
+	}
 	if ip := e.interposer; ip != nil {
 		if v, ok := ip.MapHook(c, dev, pa, size, dir); ok {
 			e.ipMapC.Inc()

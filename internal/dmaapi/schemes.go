@@ -169,7 +169,7 @@ func (s *StrictScheme) Unmap(c perf.Charger, dev int, v iommu.IOVA, size int, di
 	if err := s.u.InvQ().Submit(iommu.Command{Kind: iommu.InvRange, Dev: dev, Base: base, Size: span}); err != nil {
 		return fmt.Errorf("dmaapi: strict invalidation submit: %w", err)
 	}
-	s.u.InvQ().Drain()
+	s.u.InvQ().DrainRetry(c, s.model.ITETimeout)
 	s.alloc.Free(base)
 	return nil
 }
@@ -276,7 +276,7 @@ func (s *DeferredScheme) flushLocked(c perf.Charger) {
 			panic("dmaapi: deferred invalidation submit failed: " + err.Error())
 		}
 	}
-	s.u.InvQ().Drain()
+	s.u.InvQ().DrainRetry(c, s.model.ITETimeout)
 	// Only now do the IOVA ranges become reusable. (Placeholder frame
 	// entries carry no base.)
 	for _, e := range s.pending {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/asplos18/damn/internal/faults"
 	"github.com/asplos18/damn/internal/perf"
 	"github.com/asplos18/damn/internal/sim"
 	"github.com/asplos18/damn/internal/stats"
@@ -21,6 +22,16 @@ type Options struct {
 	Quick bool
 	Seed  int64
 
+	// FaultRate, when positive, arms the deterministic fault-injection
+	// plane on every machine the experiments build, giving each fault kind
+	// this per-visit probability (see internal/faults). The degradation
+	// paths keep the runs alive; the injected-fault counters land in each
+	// machine's stats snapshot.
+	FaultRate float64
+	// FaultSeed roots the fault schedule (independent of Seed so the
+	// workload and the faults can be varied separately).
+	FaultSeed int64
+
 	// OnStats, when non-nil, receives each machine's metrics snapshot after
 	// its run, labelled "<figure>/<scheme>" (plus a direction or parameter
 	// suffix where one figure runs several configurations per scheme).
@@ -28,6 +39,15 @@ type Options struct {
 	// Tracer, when non-nil, is attached to every machine the experiments
 	// build; each machine appears as one process in the Chrome trace.
 	Tracer *stats.Tracer
+}
+
+// faultConfig builds the machine fault plane from the options; nil when
+// injection is off, so fault-free runs carry no injector at all.
+func (o Options) faultConfig() *faults.Config {
+	if o.FaultRate <= 0 {
+		return nil
+	}
+	return &faults.Config{Seed: o.FaultSeed, Rates: faults.UniformRates(o.FaultRate)}
 }
 
 // emit hands a finished machine's metrics to the OnStats hook.
@@ -70,6 +90,7 @@ func newMachine(scheme testbed.Scheme, opts Options, memBytes int64, ring int) (
 		Seed:     opts.Seed,
 		RingSize: ring,
 		Tracer:   opts.Tracer,
+		Faults:   opts.faultConfig(),
 	})
 }
 

@@ -36,6 +36,7 @@ func Fig11(opts Options) ([]FioRow, error) {
 			ma, err := testbed.NewMachine(testbed.MachineConfig{
 				Scheme: scheme, MemBytes: 256 << 20, Seed: opts.Seed, NoNIC: true,
 				Tracer: opts.Tracer,
+				Faults: opts.faultConfig(),
 			})
 			if err != nil {
 				return nil, err

@@ -52,6 +52,7 @@ func Footnote5(opts Options) ([]Footnote5Row, error) {
 			Seed:     opts.Seed,
 			RingSize: 256, // small buffers: deeper ring, as drivers configure
 			Tracer:   opts.Tracer,
+			Faults:   opts.faultConfig(),
 		})
 		if err != nil {
 			return nil, err

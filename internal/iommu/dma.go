@@ -3,6 +3,7 @@ package iommu
 import (
 	"fmt"
 
+	"github.com/asplos18/damn/internal/faults"
 	"github.com/asplos18/damn/internal/mem"
 )
 
@@ -17,13 +18,15 @@ func (u *IOMMU) Translate(dev int, iova IOVA, write bool) (mem.PhysAddr, error) 
 	return u.translateLocked(dev, iova, write)
 }
 
-// faultLocked records a blocked DMA in the fault log and counters and
-// returns the Fault for the caller to propagate. Caller holds u.mu.
-func (u *IOMMU) faultLocked(dev int, iova IOVA, want Perm, write bool) Fault {
+// faultLocked records a blocked DMA in the fault log, the bounded VT-d
+// fault-record queue and the counters, and returns the Fault for the
+// caller to propagate. Caller holds u.mu.
+func (u *IOMMU) faultLocked(dev int, iova IOVA, want Perm, write, injected bool) Fault {
 	u.BlockedDMAs++
 	u.blockedC.Inc()
 	f := Fault{Dev: dev, Addr: iova, Wanted: want, Write: write}
 	u.faults = append(u.faults, f)
+	u.fq.push(FaultRecord{Fault: f, Injected: injected})
 	return f
 }
 
@@ -32,15 +35,21 @@ func (u *IOMMU) translateLocked(dev int, iova IOVA, write bool) (mem.PhysAddr, e
 	u.transC.Inc()
 	d := u.domains[dev]
 	if d == nil {
-		return 0, u.faultLocked(dev, iova, permFor(write), write)
+		return 0, u.faultLocked(dev, iova, permFor(write), write, false)
 	}
 	if d.Passthrough {
 		return mem.PhysAddr(iova), nil
 	}
 	need := permFor(write)
+	// An injected translation fault blocks the DMA even though the mapping
+	// is valid — hardware hiccups (ATS glitches, poisoned walks) that real
+	// VT-d units report through the fault-record queue.
+	if u.inj.Should(faults.DMAFault) {
+		return 0, u.faultLocked(dev, iova, need, write, true)
+	}
 	if e, ok := u.tlb.lookup(dev, iova); ok {
 		if e.perm&need == 0 {
-			return 0, u.faultLocked(dev, iova, need, write)
+			return 0, u.faultLocked(dev, iova, need, write, false)
 		}
 		if e.huge {
 			return e.pfn.Addr() + mem.PhysAddr(iova&IOVA(mem.HugePageMask)), nil
@@ -50,10 +59,10 @@ func (u *IOMMU) translateLocked(dev int, iova IOVA, write bool) (mem.PhysAddr, e
 	// IOTLB miss: walk the page tables.
 	e := d.walk(iova, false)
 	if e == nil || !e.present {
-		return 0, u.faultLocked(dev, iova, need, write)
+		return 0, u.faultLocked(dev, iova, need, write, false)
 	}
 	if e.perm&need == 0 {
-		return 0, u.faultLocked(dev, iova, need, write)
+		return 0, u.faultLocked(dev, iova, need, write, false)
 	}
 	u.tlb.insert(dev, iova, e.huge, e.pfn, e.perm)
 	if e.huge {

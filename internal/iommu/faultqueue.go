@@ -1,0 +1,102 @@
+package iommu
+
+import (
+	"github.com/asplos18/damn/internal/stats"
+)
+
+// VT-d hardware does not raise a Go error at the device: a blocked DMA
+// aborts silently on the bus and the IOMMU deposits a *fault record* into a
+// bounded ring the OS reads later (primary fault logging). FaultQueue
+// models that ring: faultLocked pushes a record for every blocked DMA, and
+// when the ring is full the record is lost and only an overflow counter
+// advances — exactly the information loss real hardware exhibits under a
+// fault storm.
+
+// FaultRecordDepth is the ring capacity. VT-d exposes a small number of
+// fault-recording registers backed by a software ring; 64 keeps the OS's
+// view bounded the way hardware does.
+const FaultRecordDepth = 64
+
+// FaultRecord is one entry of the fault-record queue.
+type FaultRecord struct {
+	Fault
+	// Injected marks records produced by the fault plane rather than a
+	// genuinely missing/insufficient translation.
+	Injected bool
+}
+
+// FaultQueue is the bounded VT-d-style fault-record ring. It is guarded by
+// the owning IOMMU's mutex.
+type FaultQueue struct {
+	buf   [FaultRecordDepth]FaultRecord
+	head  int
+	tail  int
+	count int
+
+	Recorded  uint64 // records successfully deposited
+	Overflows uint64 // records lost to a full ring
+
+	recordC   *stats.Counter
+	overflowC *stats.Counter
+}
+
+func (fq *FaultQueue) setStats(r *stats.Registry) {
+	fq.recordC = r.Counter("iommu", "fault_records")
+	fq.overflowC = r.Counter("iommu", "fault_overflows")
+}
+
+// push deposits a record, dropping it (and counting the overflow) when the
+// ring is full. Caller holds the IOMMU mutex.
+func (fq *FaultQueue) push(rec FaultRecord) {
+	if fq.count == FaultRecordDepth {
+		fq.Overflows++
+		fq.overflowC.Inc()
+		return
+	}
+	fq.buf[fq.tail] = rec
+	fq.tail = (fq.tail + 1) % FaultRecordDepth
+	fq.count++
+	fq.Recorded++
+	fq.recordC.Inc()
+}
+
+// Pending reports deposited, not-yet-read records.
+func (fq *FaultQueue) Pending() int { return fq.count }
+
+// drain pops every pending record in FIFO order. Caller holds the IOMMU
+// mutex.
+func (fq *FaultQueue) drain() []FaultRecord {
+	if fq.count == 0 {
+		return nil
+	}
+	out := make([]FaultRecord, 0, fq.count)
+	for fq.count > 0 {
+		out = append(out, fq.buf[fq.head])
+		fq.head = (fq.head + 1) % FaultRecordDepth
+		fq.count--
+	}
+	return out
+}
+
+// ReadFaultRecords is the OS side of primary fault logging: it pops and
+// returns every pending record, clearing the ring the way the fault-status
+// register write-back does.
+func (u *IOMMU) ReadFaultRecords() []FaultRecord {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.fq.drain()
+}
+
+// PendingFaultRecords reports deposited, not-yet-read records.
+func (u *IOMMU) PendingFaultRecords() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.fq.Pending()
+}
+
+// FaultQueueStats reports (recorded, overflowed) record counts.
+func (u *IOMMU) FaultQueueStats() (recorded, overflowed uint64) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.fq.Recorded, u.fq.Overflows
+}

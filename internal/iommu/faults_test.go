@@ -1,0 +1,136 @@
+package iommu
+
+import (
+	"testing"
+
+	"github.com/asplos18/damn/internal/faults"
+	"github.com/asplos18/damn/internal/mem"
+	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/stats"
+)
+
+func alwaysInject(k faults.Kind) *faults.Injector {
+	return faults.New(faults.Config{Seed: 1, Rates: map[faults.Kind]float64{k: 1}})
+}
+
+// TestDrainRetryChargesSimulatedTime is the ITE regression: an injected
+// invalidation time-out must stall the calling task for the full
+// exponential-backoff wait — recovery is real simulated time, not a free
+// retry loop — and the drain must still complete.
+func TestDrainRetryChargesSimulatedTime(t *testing.T) {
+	u, m := newTestIOMMU(t)
+	reg := stats.NewRegistry()
+	u.SetStats(reg)
+	u.SetFaults(alwaysInject(faults.InvTimeout))
+	u.AttachDevice(1)
+	pa := allocPA(t, m, 0)
+	if err := u.Map(1, 0x1000, pa, mem.PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.InvQ().Submit(Command{Kind: InvRange, Dev: 1, Base: 0x1000, Size: mem.PageSize}); err != nil {
+		t.Fatal(err)
+	}
+
+	se := sim.NewEngine(0)
+	core := sim.NewCore(se, 0, 0, 1e9)
+	const timeout = 10 * sim.Microsecond
+	// Rate 1 times out every attempt, so the OS pays the full capped
+	// exponential series: timeout * (2^maxITERetries - 1).
+	want := timeout * ((1 << 8) - 1)
+	var end sim.Time
+	var drained int
+	core.Submit(false, func(task *sim.Task) {
+		drained = u.InvQ().DrainRetry(task, timeout)
+		end = task.Now()
+	})
+	se.RunUntilIdle()
+
+	if drained != 1 {
+		t.Fatalf("drained %d commands, want 1", drained)
+	}
+	if end != want {
+		t.Fatalf("task advanced %v, want %v of ITE backoff", end, want)
+	}
+	if core.Busy() != want {
+		t.Fatalf("core busy %v, want %v", core.Busy(), want)
+	}
+	if u.InvQ().ITETimeouts != 8 {
+		t.Fatalf("ITETimeouts = %d, want 8", u.InvQ().ITETimeouts)
+	}
+	if got := reg.Snapshot().Counters["iommu/ite_timeouts"]; got != 8 {
+		t.Fatalf("registry ite_timeouts = %d, want 8", got)
+	}
+}
+
+// TestDrainRetryWithoutFaultsIsDrain: a nil injector (or a quiet one) makes
+// DrainRetry cost nothing beyond Drain.
+func TestDrainRetryWithoutFaultsIsDrain(t *testing.T) {
+	u, _ := newTestIOMMU(t)
+	u.AttachDevice(1)
+	se := sim.NewEngine(0)
+	core := sim.NewCore(se, 0, 0, 1e9)
+	var end sim.Time
+	core.Submit(false, func(task *sim.Task) {
+		u.InvQ().DrainRetry(task, 10*sim.Microsecond)
+		end = task.Now()
+	})
+	se.RunUntilIdle()
+	if end != 0 {
+		t.Fatalf("fault-free DrainRetry charged %v", end)
+	}
+	if u.InvQ().ITETimeouts != 0 {
+		t.Fatal("spurious ITE timeouts")
+	}
+}
+
+// TestInjectedDMAFaultRecords: an injected translation fault must abort the
+// access with a fault and land in the bounded fault-record queue, flagged
+// as injected; overflow drops records and counts them.
+func TestInjectedDMAFaultRecords(t *testing.T) {
+	u, m := newTestIOMMU(t)
+	reg := stats.NewRegistry()
+	u.SetStats(reg)
+	u.SetFaults(alwaysInject(faults.DMAFault))
+	u.AttachDevice(1)
+	pa := allocPA(t, m, 0)
+	if err := u.Map(1, 0x1000, pa, mem.PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+
+	// Push well past the queue depth: every translate faults at rate 1.
+	total := FaultRecordDepth + 10
+	for i := 0; i < total; i++ {
+		if _, err := u.Translate(1, 0x1000, false); err == nil {
+			t.Fatal("injected DMA fault did not surface")
+		}
+	}
+	recs := u.ReadFaultRecords()
+	if len(recs) != FaultRecordDepth {
+		t.Fatalf("read %d records, want the full queue %d", len(recs), FaultRecordDepth)
+	}
+	for _, r := range recs {
+		if !r.Injected {
+			t.Fatal("record not flagged injected")
+		}
+		if r.Dev != 1 {
+			t.Fatalf("record dev %d", r.Dev)
+		}
+	}
+	recorded, overflowed := u.FaultQueueStats()
+	if recorded != uint64(FaultRecordDepth) {
+		t.Fatalf("recorded %d", recorded)
+	}
+	if overflowed != uint64(total-FaultRecordDepth) {
+		t.Fatalf("overflowed %d, want %d", overflowed, total-FaultRecordDepth)
+	}
+	// Reading drained the queue; the next fault records again.
+	if u.PendingFaultRecords() != 0 {
+		t.Fatalf("queue not drained: %d", u.PendingFaultRecords())
+	}
+	if _, err := u.Translate(1, 0x1000, false); err == nil {
+		t.Fatal("expected fault")
+	}
+	if u.PendingFaultRecords() != 1 {
+		t.Fatalf("new fault not recorded: %d pending", u.PendingFaultRecords())
+	}
+}

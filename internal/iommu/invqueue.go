@@ -3,6 +3,9 @@ package iommu
 import (
 	"fmt"
 
+	"github.com/asplos18/damn/internal/faults"
+	"github.com/asplos18/damn/internal/perf"
+	"github.com/asplos18/damn/internal/sim"
 	"github.com/asplos18/damn/internal/stats"
 )
 
@@ -63,20 +66,23 @@ const InvQueueDepth = 256
 // (Submit); the hardware is the consumer (Drain).
 type InvalidationQueue struct {
 	tlb *IOTLB
+	inj *faults.Injector // set via IOMMU.SetFaults
 
 	buf   [InvQueueDepth]Command
 	head  int // next slot the hardware reads
 	tail  int // next slot the OS writes
 	count int
 
-	Submitted uint64
-	Processed uint64
+	Submitted   uint64
+	Processed   uint64
+	ITETimeouts uint64 // injected invalidation time-outs survived
 
 	// Observability (nil-safe handles; see SetStats).
 	submittedC *stats.Counter
 	processedC *stats.Counter
 	wrapDrainC *stats.Counter
 	rejectedC  *stats.Counter
+	iteC       *stats.Counter
 	depthHist  *stats.Histogram
 	drainHist  *stats.Histogram
 }
@@ -93,6 +99,7 @@ func (q *InvalidationQueue) SetStats(r *stats.Registry) {
 	q.processedC = r.Counter("iommu", "invq_processed")
 	q.wrapDrainC = r.Counter("iommu", "invq_wrap_drains")
 	q.rejectedC = r.Counter("iommu", "invq_rejected")
+	q.iteC = r.Counter("iommu", "ite_timeouts")
 	q.depthHist = r.Histogram("iommu", "invq_depth")
 	q.drainHist = r.Histogram("iommu", "invq_drain_batch")
 }
@@ -143,6 +150,37 @@ func (q *InvalidationQueue) Drain() int {
 		q.drainHist.Observe(float64(n))
 	}
 	return n
+}
+
+// maxITERetries bounds the retry loop: after this many consecutive
+// time-outs the OS gives up waiting and proceeds with the drain (the
+// hardware has, by then, had orders of magnitude longer than one timeout
+// window to respond — matching Linux, which complains but does not halt).
+const maxITERetries = 8
+
+// DrainRetry is the OS-side synchronous drain with VT-d ITE handling: wait
+// for the queue to empty, and on an (injected) Invalidation Time-out Error
+// charge the timed-out wait to the caller, back off exponentially and
+// retry. With fault injection off it is exactly Drain. The total stall is
+// simulated time on the calling task, so ITE recovery is as measurable as
+// any other cost.
+func (q *InvalidationQueue) DrainRetry(c perf.Charger, timeout sim.Time) int {
+	if timeout <= 0 {
+		timeout = 10 * sim.Microsecond
+	}
+	var waited sim.Time
+	backoff := timeout
+	for attempt := 0; attempt < maxITERetries && q.inj.Should(faults.InvTimeout); attempt++ {
+		q.ITETimeouts++
+		q.iteC.Inc()
+		perf.ChargeTime(c, backoff)
+		waited += backoff
+		backoff *= 2
+	}
+	if waited > 0 {
+		q.inj.ObserveRecovery(faults.InvTimeout, waited)
+	}
+	return q.Drain()
 }
 
 func (q *InvalidationQueue) execute(cmd Command) {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/asplos18/damn/internal/faults"
 	"github.com/asplos18/damn/internal/mem"
 	"github.com/asplos18/damn/internal/stats"
 )
@@ -101,8 +102,10 @@ type IOMMU struct {
 	domains map[int]*Domain
 	tlb     *IOTLB
 	invq    *InvalidationQueue
+	inj     *faults.Injector
 
 	faults []Fault
+	fq     FaultQueue
 	// Stats the evaluation reads.
 	Mappings     uint64 // map operations
 	Unmappings   uint64 // unmap operations
@@ -126,8 +129,19 @@ func (u *IOMMU) SetStats(r *stats.Registry) {
 	u.unmapC = r.Counter("iommu", "unmappings")
 	u.transC = r.Counter("iommu", "translations")
 	u.blockedC = r.Counter("iommu", "blocked_dmas")
+	u.fq.setStats(r)
 	u.tlb.SetStats(r)
 	u.invq.SetStats(r)
+}
+
+// SetFaults attaches the machine's fault-injection plane: injected DMA
+// translation faults (delivered through the fault-record queue) and
+// invalidation-queue timeouts.
+func (u *IOMMU) SetFaults(inj *faults.Injector) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.inj = inj
+	u.invq.inj = inj
 }
 
 // New creates an IOMMU over the given physical memory.

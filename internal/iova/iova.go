@@ -11,12 +11,18 @@
 package iova
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"github.com/asplos18/damn/internal/iommu"
 )
+
+// ErrExhausted reports that no free range large enough exists. Callers in
+// the DMA API match it with errors.Is to distinguish address-space
+// exhaustion (retryable after unmaps) from caller bugs like a bad size.
+var ErrExhausted = errors.New("iova: space exhausted")
 
 // Space boundaries.
 const (
@@ -50,17 +56,19 @@ type span struct {
 }
 
 // NewAllocator creates an allocator over [lo, hi]. Both bounds must be page
-// aligned (hi exclusive).
+// aligned (hi exclusive). An empty range (lo >= hi) yields a valid
+// allocator whose every Alloc fails with ErrExhausted — exhaustion is an
+// error the DMA API surfaces, never a panic.
 func NewAllocator(lo, hi iommu.IOVA) *Allocator {
-	if lo >= hi {
-		panic("iova: empty space")
-	}
-	return &Allocator{
+	a := &Allocator{
 		lo:        lo,
 		hi:        hi,
-		free:      []span{{base: lo, size: uint64(hi - lo)}},
 		allocated: make(map[iommu.IOVA]int),
 	}
+	if lo < hi {
+		a.free = []span{{base: lo, size: uint64(hi - lo)}}
+	}
+	return a
 }
 
 // NewAPIAllocator creates the allocator for the standard DMA API partition.
@@ -91,7 +99,7 @@ func (a *Allocator) Alloc(size int) (iommu.IOVA, error) {
 		a.allocated[base] = int(need)
 		return base, nil
 	}
-	return 0, fmt.Errorf("iova: space exhausted allocating %d bytes", size)
+	return 0, fmt.Errorf("%w allocating %d bytes", ErrExhausted, size)
 }
 
 // Free releases a range returned by Alloc.

@@ -1,9 +1,18 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"github.com/asplos18/damn/internal/faults"
 )
+
+// ErrNoMemory reports page-allocator exhaustion after reclaim has run.
+// Callers match it with errors.Is: it is the one allocation failure that is
+// a state of the machine rather than a caller bug, and every layer above
+// (slab, DAMN, netstack) must degrade rather than panic on it.
+var ErrNoMemory = errors.New("mem: out of memory")
 
 // Memory is the simulated physical memory of one machine: a flat byte array
 // plus the page-struct array and per-NUMA-node buddy zones. It is safe for
@@ -21,7 +30,14 @@ type Memory struct {
 	shrinkers      shrinkerRegistry
 	reclaimRuns    atomic.Int64
 	reclaimedPages atomic.Int64
+
+	inj *faults.Injector
 }
+
+// SetFaults attaches the machine's fault-injection plane. An injected
+// AllocFail behaves exactly like true exhaustion: reclaim runs (shrinkers
+// give pages back), then the allocation fails with ErrNoMemory.
+func (m *Memory) SetFaults(inj *faults.Injector) { m.inj = inj }
 
 // Config describes the machine memory layout.
 type Config struct {
@@ -149,6 +165,11 @@ func (m *Memory) AllocPages(order int, node int) (*Page, error) {
 	if node < 0 || node >= len(m.zones) {
 		node = 0
 	}
+	if m.inj.Should(faults.AllocFail) {
+		m.reclaim()
+		return nil, fmt.Errorf("%w: injected failure allocating order-%d block on node %d",
+			ErrNoMemory, order, node)
+	}
 	for round := 0; round < 2; round++ {
 		for attempt := 0; attempt < len(m.zones); attempt++ {
 			z := m.zones[(node+attempt)%len(m.zones)]
@@ -165,7 +186,7 @@ func (m *Memory) AllocPages(order int, node int) (*Page, error) {
 			break
 		}
 	}
-	return nil, fmt.Errorf("mem: out of memory allocating order-%d block on node %d", order, node)
+	return nil, fmt.Errorf("%w allocating order-%d block on node %d", ErrNoMemory, order, node)
 }
 
 // FreePages returns a block previously obtained from AllocPages.

@@ -21,6 +21,12 @@ type Driver struct {
 	k   *Kernel
 	nic *device.NIC
 
+	// shortfall counts, per ring, descriptors missing from circulation:
+	// completions consumed whose repost failed, plus initial-fill gaps.
+	// The watchdog restores exactly this deficit — it must not "top up"
+	// in-flight descriptors, or it would defeat flow control.
+	shortfall []int
+
 	// RxBufSize is the posted receive buffer size (64 KiB: one LRO
 	// segment per buffer).
 	RxBufSize int
@@ -32,22 +38,40 @@ type Driver struct {
 	OnTxDone func(t *sim.Task, ring int, skb *SKBuff)
 
 	// Stats.
-	RxDelivered uint64
-	RxDropped   uint64 // completions with DMA faults
-	TxCompleted uint64
+	RxDelivered   uint64
+	RxDropped     uint64 // completions with DMA faults
+	RxCsumDrops   uint64 // corrupted frames caught by hardware checksum
+	RxUnmapErrors uint64 // RX buffers quarantined after a failed unmap
+	TxUnmapErrors uint64
+	TxCompleted   uint64
+	WatchdogRuns  uint64 // watchdog polls that found work
+	WatchdogReaps uint64 // completions recovered after a lost interrupt
 
 	// Observability (nil-safe handles; see SetStats).
-	rxDelivC *stats.Counter
-	rxDropC  *stats.Counter
-	txDoneC  *stats.Counter
+	rxDelivC  *stats.Counter
+	rxDropC   *stats.Counter
+	rxCsumC   *stats.Counter
+	rxUnmapC  *stats.Counter
+	txUnmapC  *stats.Counter
+	txDoneC   *stats.Counter
+	watchdogC *stats.Counter
+	wdReapedC *stats.Counter
+	wdRefillC *stats.Counter
 }
 
 // SetStats attaches a metrics registry mirroring the driver's delivery and
-// drop counters.
+// drop counters, plus the degradation-path accounting (checksum drops,
+// quarantined unmap failures, watchdog recoveries).
 func (d *Driver) SetStats(r *stats.Registry) {
 	d.rxDelivC = r.Counter("netstack", "rx_delivered")
 	d.rxDropC = r.Counter("netstack", "rx_dropped")
+	d.rxCsumC = r.Counter("netstack", "rx_csum_drops")
+	d.rxUnmapC = r.Counter("netstack", "rx_unmap_errors")
+	d.txUnmapC = r.Counter("netstack", "tx_unmap_errors")
 	d.txDoneC = r.Counter("netstack", "tx_completed")
+	d.watchdogC = r.Counter("netstack", "watchdog_runs")
+	d.wdReapedC = r.Counter("netstack", "watchdog_reaped")
+	d.wdRefillC = r.Counter("netstack", "watchdog_refills")
 }
 
 // rxBuf is the driver's per-posted-buffer state, carried through the ring
@@ -60,7 +84,8 @@ type rxBuf struct {
 
 // NewDriver wires a driver to its NIC.
 func NewDriver(k *Kernel, nic *device.NIC) *Driver {
-	d := &Driver{k: k, nic: nic, RxBufSize: k.Model.SegmentSize}
+	d := &Driver{k: k, nic: nic, RxBufSize: k.Model.SegmentSize,
+		shortfall: make([]int, nic.Cfg.Rings)}
 	nic.OnRX(d.handleRX)
 	nic.OnTXComplete(d.handleTXComplete)
 	return d
@@ -69,10 +94,13 @@ func NewDriver(k *Kernel, nic *device.NIC) *Driver {
 // NIC returns the underlying device.
 func (d *Driver) NIC() *device.NIC { return d.nic }
 
-// FillRing posts buffers until the RX ring is full.
+// FillRing posts buffers until the RX ring is full (initial priming; no
+// segments are in flight yet). A failure records the remaining gap as the
+// ring's shortfall so the watchdog can finish the job later.
 func (d *Driver) FillRing(t *sim.Task, ring int) error {
 	for d.nic.RXPosted(ring) < d.nic.Cfg.RingSize {
 		if err := d.postOne(t, ring); err != nil {
+			d.shortfall[ring] += d.nic.Cfg.RingSize - d.nic.RXPosted(ring)
 			return err
 		}
 	}
@@ -104,20 +132,42 @@ func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 		// buffers this performs the copy-back; for DAMN it is the MSB
 		// no-op; for strict it invalidates.
 		if err := d.k.DMA.Unmap(t, d.nic.ID(), rb.iova, d.RxBufSize, dmaapi.FromDevice); err != nil {
-			panic("netstack: RX unmap failed: " + err.Error())
+			// The buffer's mapping state is now unknown, so it can
+			// never be reused: quarantine it (deliberate leak), count
+			// the loss, keep the ring alive and keep receiving.
+			d.RxUnmapErrors++
+			d.rxUnmapC.Inc()
+			d.RxDropped++
+			d.rxDropC.Inc()
+			if err := d.postOne(t, ring); err != nil {
+				d.shortfall[ring]++ // watchdog restores it
+			}
+			continue
 		}
 		// Replenish the ring before handing the packet up, as drivers
 		// do, so the NIC keeps receiving while the stack works.
 		if err := d.postOne(t, ring); err != nil {
 			// Out of buffers: the ring shrinks; the NIC will park
-			// traffic (flow control) until memory frees up.
+			// traffic (flow control) until memory frees up or the
+			// watchdog restores the recorded shortfall.
 			d.RxDropped++
 			d.rxDropC.Inc()
+			d.shortfall[ring]++
 		}
 		if comp.Written == 0 && comp.Seg.Len > 0 && len(comp.Seg.Header) > 0 {
 			// The DMA faulted (attack or misconfiguration): no
 			// packet to deliver; recycle the buffer.
-			d.k.FreeBuffer(t, rb.pa, rb.damn)
+			_ = d.k.FreeBuffer(t, rb.pa, rb.damn)
+			d.RxDropped++
+			d.rxDropC.Inc()
+			continue
+		}
+		if comp.BadCSum {
+			// Hardware checksum caught a corrupted frame: drop and
+			// recycle, exactly as a real driver does.
+			_ = d.k.FreeBuffer(t, rb.pa, rb.damn)
+			d.RxCsumDrops++
+			d.rxCsumC.Inc()
 			d.RxDropped++
 			d.rxDropC.Inc()
 			continue
@@ -131,6 +181,60 @@ func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 			d.OnDeliver(t, ring, skb)
 		} else {
 			skb.Free(t)
+		}
+	}
+}
+
+// watchdogPollCycles is the CPU cost of one NAPI-style watchdog poll that
+// found work (ring scan + bookkeeping).
+const watchdogPollCycles = 600
+
+// EnableWatchdog arms a NAPI-style poll on every ring: each period it reaps
+// completions whose interrupts were lost and reposts the descriptors whose
+// replenish failed (the recorded shortfall). Real drivers run exactly such
+// a watchdog (mlx5's health poll / NAPI timeout) so a missed interrupt
+// degrades latency instead of wedging the ring. It deliberately restores
+// only the shortfall — descriptors consumed by in-flight segments are the
+// flow-control signal, not losses. The testbed arms it only when fault
+// injection is on; at a zero fault rate it never finds work, so the event
+// stream matches a machine without it. Returns a stop function.
+func (d *Driver) EnableWatchdog(period sim.Time) (stop func()) {
+	if period <= 0 {
+		period = 100 * sim.Microsecond
+	}
+	stops := make([]func(), 0, d.nic.Cfg.Rings)
+	for ring := 0; ring < d.nic.Cfg.Rings; ring++ {
+		ring := ring
+		stops = append(stops, d.k.Sim.Every(period, func() {
+			comps := d.nic.ReapMissed(ring)
+			if len(comps) == 0 && d.shortfall[ring] == 0 {
+				return
+			}
+			core := d.k.Cores[ring%len(d.k.Cores)]
+			core.Submit(true, func(t *sim.Task) {
+				perf.Charge(t, watchdogPollCycles)
+				d.WatchdogRuns++
+				d.watchdogC.Inc()
+				if len(comps) > 0 {
+					d.WatchdogReaps += uint64(len(comps))
+					d.wdReapedC.Add(uint64(len(comps)))
+					d.handleRX(t, ring, comps)
+				}
+				// Repost what the interrupt path failed to; under injected
+				// OOM this may fail again — the next tick retries.
+				for d.shortfall[ring] > 0 {
+					if err := d.postOne(t, ring); err != nil {
+						break
+					}
+					d.shortfall[ring]--
+					d.wdRefillC.Inc()
+				}
+			})
+		}))
+	}
+	return func() {
+		for _, s := range stops {
+			s()
 		}
 	}
 }
@@ -156,7 +260,11 @@ func (d *Driver) handleTXComplete(t *sim.Task, ring int, descs []device.TXDesc) 
 	for _, desc := range descs {
 		skb := desc.Cookie.(*SKBuff)
 		if err := skb.UnmapForDevice(t, dmaapi.ToDevice); err != nil {
-			panic("netstack: TX unmap failed: " + err.Error())
+			// The skb already cleared its mapped flag, so freeing it is
+			// safe; the stale IOMMU mapping leaks until the domain is
+			// torn down. Count it and let the flow continue.
+			d.TxUnmapErrors++
+			d.txUnmapC.Inc()
 		}
 		d.TxCompleted++
 		d.txDoneC.Inc()

@@ -10,12 +10,15 @@
 package netstack
 
 import (
+	"fmt"
+
 	"github.com/asplos18/damn/internal/damn"
 	"github.com/asplos18/damn/internal/dmaapi"
 	"github.com/asplos18/damn/internal/iommu"
 	"github.com/asplos18/damn/internal/mem"
 	"github.com/asplos18/damn/internal/perf"
 	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/stats"
 )
 
 // Kernel bundles the machine's kernel-side services the stack needs.
@@ -32,6 +35,14 @@ type Kernel struct {
 	Cores []*sim.Core
 
 	Netfilter Netfilter
+
+	// Observability (nil-safe handle; see SetStats).
+	freeErrC *stats.Counter
+}
+
+// SetStats attaches a metrics registry for kernel-level error accounting.
+func (k *Kernel) SetStats(r *stats.Registry) {
+	k.freeErrC = r.Counter("netstack", "buffer_free_errors")
 }
 
 // UseDamn reports whether the DAMN allocator is deployed.
@@ -62,13 +73,19 @@ func (k *Kernel) AllocBuffer(t *sim.Task, dev int, rights iommu.Perm, size int) 
 	return pa, false, err
 }
 
-// FreeBuffer releases a buffer from AllocBuffer.
-func (k *Kernel) FreeBuffer(t *sim.Task, pa mem.PhysAddr, damnOwned bool) {
+// FreeBuffer releases a buffer from AllocBuffer. A failed DAMN free is a
+// buffer-accounting error, not a simulator invariant violation: the buffer
+// is quarantined (leaked, never reused) rather than handed back in an
+// unknown state, the failure is counted, and the error is returned for the
+// caller's own accounting.
+func (k *Kernel) FreeBuffer(t *sim.Task, pa mem.PhysAddr, damnOwned bool) error {
 	if damnOwned {
 		if err := k.Damn.Free(k.Ctx(t), pa); err != nil {
-			panic("netstack: damn free failed: " + err.Error())
+			k.freeErrC.Inc()
+			return fmt.Errorf("netstack: damn free: %w", err)
 		}
-		return
+		return nil
 	}
 	k.Slab.Free(pa)
+	return nil
 }

@@ -298,5 +298,7 @@ func (s *SKBuff) Free(t *sim.Task) {
 		s.k.Slab.Free(s.safePA)
 		s.safePA = 0
 	}
-	s.k.FreeBuffer(t, s.headPA, s.damnHead)
+	// A failed free quarantines the buffer inside FreeBuffer; the skb
+	// itself is gone either way.
+	_ = s.k.FreeBuffer(t, s.headPA, s.damnHead)
 }

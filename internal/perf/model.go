@@ -118,6 +118,12 @@ type Model struct {
 	DeferredFlushInterval sim.Time
 	// DeferredFlushCycles is the CPU cost of issuing the batched flush.
 	DeferredFlushCycles float64
+	// ITETimeout is how long the OS waits for the invalidation queue to
+	// drain before declaring a VT-d Invalidation Time-out Error and
+	// retrying. Linux waits up to 1 s before giving up; the simulation
+	// uses a much shorter window so injected ITEs cost a visible but
+	// bounded amount of simulated time.
+	ITETimeout sim.Time
 
 	// ---- Shadow-buffer scheme costs ----
 
@@ -226,6 +232,7 @@ func Default28Core() *Model {
 		DeferredBatchSize:       250,
 		DeferredFlushInterval:   10 * sim.Millisecond,
 		DeferredFlushCycles:     2200,
+		ITETimeout:              10 * sim.Microsecond,
 
 		ShadowMgmtCycles: 500,
 

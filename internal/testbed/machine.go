@@ -10,6 +10,7 @@ import (
 	damncore "github.com/asplos18/damn/internal/damn"
 	"github.com/asplos18/damn/internal/device"
 	"github.com/asplos18/damn/internal/dmaapi"
+	"github.com/asplos18/damn/internal/faults"
 	"github.com/asplos18/damn/internal/iommu"
 	"github.com/asplos18/damn/internal/mem"
 	"github.com/asplos18/damn/internal/netstack"
@@ -65,6 +66,11 @@ type MachineConfig struct {
 	// Tracer, when non-nil, receives Chrome trace_event spans for every
 	// simulated task; each machine gets its own trace process.
 	Tracer *stats.Tracer
+	// Faults, when non-nil, arms the deterministic fault-injection plane
+	// across every layer of the machine (see internal/faults). Nil keeps
+	// every fault point a single predictable-false nil check — the
+	// fault-free numbers are bit-identical to a build without the plane.
+	Faults *faults.Config
 }
 
 // Machine is one fully assembled testbed.
@@ -86,6 +92,14 @@ type Machine struct {
 	// Stats collects metrics from every layer of this machine; always
 	// non-nil (the handles are cheap atomics even when nobody reads them).
 	Stats *stats.Registry
+
+	// Faults is the machine's fault-injection plane; nil when Cfg.Faults
+	// is nil (injection off).
+	Faults *faults.Injector
+	// StopWatchdog disarms the driver's recovery watchdog (armed only
+	// under fault injection). The watchdog re-arms itself every period, so
+	// a drain-to-idle run must stop it first. Nil when faults are off.
+	StopWatchdog func()
 
 	// Deferred is non-nil when the active (or fallback) scheme batches
 	// invalidations — exposed for window inspection.
@@ -148,6 +162,12 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	}
 	se.SetStats(ma.Stats)
 	u.SetStats(ma.Stats)
+	if cfg.Faults != nil {
+		ma.Faults = faults.New(*cfg.Faults)
+		ma.Faults.SetStats(ma.Stats)
+		m.SetFaults(ma.Faults)
+		u.SetFaults(ma.Faults)
+	}
 	if cfg.Tracer != nil {
 		pid := cfg.Tracer.Process(string(cfg.Scheme))
 		for _, c := range cores {
@@ -198,6 +218,7 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 
 	ma.DMA = dmaapi.NewEngine(se, m, u, model, scheme)
 	ma.DMA.SetStats(ma.Stats)
+	ma.DMA.SetFaults(ma.Faults)
 
 	if useDamn {
 		dcfg := damncore.DefaultConfig(coreNodes)
@@ -229,6 +250,7 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		Sim: se, Mem: m, Slab: ma.Slab, IOMMU: u, DMA: ma.DMA,
 		Damn: ma.Damn, Model: model, MemBW: membw, Cores: cores,
 	}
+	ma.Kernel.SetStats(ma.Stats)
 
 	if !cfg.NoNIC {
 		ma.NIC = device.NewNIC(se, u, model, membw, cores, device.NICConfig{
@@ -237,9 +259,16 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 			WireGbps: model.WireGbpsPerPort, PCIeGbps: model.PCIeGbpsPerDir,
 		})
 		ma.NIC.SetStats(ma.Stats)
+		ma.NIC.SetFaults(ma.Faults)
 		ma.Driver = netstack.NewDriver(ma.Kernel, ma.NIC)
 		ma.Driver.SetStats(ma.Stats)
 		ma.Driver.OnTxDone = netstack.DispatchTxDone
+		if ma.Faults != nil {
+			// Lost completion interrupts and shrunken rings recover via
+			// the driver's watchdog poll; armed only under injection so
+			// the fault-free event stream is untouched.
+			ma.StopWatchdog = ma.Driver.EnableWatchdog(0)
+		}
 	}
 	return ma, nil
 }
@@ -247,7 +276,9 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 // StatsSnapshot captures the machine's metrics at the current simulated time.
 func (ma *Machine) StatsSnapshot() stats.Snapshot { return ma.Stats.Snapshot() }
 
-// FillAllRings primes every RX ring before a run.
+// FillAllRings primes every RX ring before a run. With fault injection on,
+// filling is best-effort: an injected allocation failure shrinks a ring
+// the watchdog later tops back up, instead of aborting the run.
 func (ma *Machine) FillAllRings() error {
 	var firstErr error
 	for ring := range ma.Cores {
@@ -259,6 +290,9 @@ func (ma *Machine) FillAllRings() error {
 		})
 	}
 	ma.Sim.Run(ma.Sim.Now()) // execute the fill tasks queued at current time
+	if ma.Faults != nil {
+		return nil
+	}
 	return firstErr
 }
 

@@ -1,0 +1,178 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/asplos18/damn/internal/faults"
+	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/stats"
+	"github.com/asplos18/damn/internal/testbed"
+)
+
+// ChaosConfig describes one chaos run: a normal workload executed under a
+// randomized-but-deterministic fault schedule. The schedule is a pure
+// function of FaultSeed, so any failure replays exactly.
+type ChaosConfig struct {
+	// Scheme is the machine's protection configuration (default SchemeDAMN,
+	// the configuration with the deepest degradation chain: depot → bump →
+	// slow path → ErrNoMemory).
+	Scheme testbed.Scheme
+	// FaultSeed roots every fault kind's random stream.
+	FaultSeed int64
+	// FaultRate is the uniform per-visit injection probability applied to
+	// every fault kind (default 0.002). Rates overrides it per kind when
+	// non-nil.
+	FaultRate float64
+	Rates     map[faults.Kind]float64
+	// Cores for the machine (default 4: chaos runs favour iteration speed
+	// over fidelity to the 28-core testbed).
+	Cores    int
+	Duration sim.Time
+	Warmup   sim.Time
+}
+
+// ChaosResult reports what a chaos run survived.
+type ChaosResult struct {
+	Netperf NetperfResult
+	// Injected is the fired-fault count per kind name.
+	Injected      map[string]uint64
+	InjectedTotal uint64
+	// ScheduleDigest folds every injection decision; equal digests mean
+	// byte-identical fault schedules.
+	ScheduleDigest uint64
+	// FaultRecords / FaultOverflows are the IOMMU fault-record queue's
+	// counters; ITETimeouts counts invalidation-queue timeouts retried.
+	FaultRecords   uint64
+	FaultOverflows uint64
+	ITETimeouts    uint64
+	// DamnLiveChunks is the allocator's live-chunk count after the
+	// conservation audit (-1 when the scheme has no DAMN).
+	DamnLiveChunks int
+	// Snapshot is the machine's full metrics state at run end.
+	Snapshot stats.Snapshot
+}
+
+func (cfg *ChaosConfig) defaults() {
+	if cfg.Scheme == "" {
+		cfg.Scheme = testbed.SchemeDAMN
+	}
+	if cfg.FaultRate == 0 {
+		cfg.FaultRate = 0.002
+	}
+	if cfg.Cores == 0 {
+		cfg.Cores = 4
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 30 * sim.Millisecond
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 10 * sim.Millisecond
+	}
+}
+
+// faultConfig builds the machine's fault plane from the chaos knobs.
+func (cfg *ChaosConfig) faultConfig() *faults.Config {
+	rates := cfg.Rates
+	if rates == nil {
+		rates = faults.UniformRates(cfg.FaultRate)
+	}
+	return &faults.Config{Seed: cfg.FaultSeed, Rates: rates}
+}
+
+// newChaosMachine assembles the machine under test with injection armed.
+func newChaosMachine(cfg *ChaosConfig) (*testbed.Machine, error) {
+	return testbed.NewMachine(testbed.MachineConfig{
+		Scheme: cfg.Scheme,
+		Cores:  cfg.Cores,
+		Faults: cfg.faultConfig(),
+	})
+}
+
+// finish stops the watchdog, runs the conservation audit and collects the
+// fault plane's evidence.
+func finishChaos(ma *testbed.Machine, res *ChaosResult) error {
+	if ma.StopWatchdog != nil {
+		ma.StopWatchdog()
+	}
+	res.DamnLiveChunks = -1
+	if ma.Damn != nil {
+		live, err := ma.Damn.Audit()
+		if err != nil {
+			return fmt.Errorf("workloads: chaos conservation audit: %w", err)
+		}
+		res.DamnLiveChunks = live
+	}
+	res.Injected = ma.Faults.Counts()
+	res.InjectedTotal = ma.Faults.InjectedTotal()
+	res.ScheduleDigest = ma.Faults.ScheduleDigest()
+	res.FaultRecords, res.FaultOverflows = ma.IOMMU.FaultQueueStats()
+	res.ITETimeouts = ma.IOMMU.InvQ().ITETimeouts
+	res.Snapshot = ma.StatsSnapshot()
+	return nil
+}
+
+// RunChaosNetperf runs a bidirectional netperf under the fault schedule:
+// every RX and TX path of the stack — wire, DMA translation, invalidation,
+// allocation, completion delivery — takes deterministic hits while the
+// degradation paths keep the machine alive. The run fails only if a layer
+// panics or the allocator's conservation invariants break.
+func RunChaosNetperf(cfg ChaosConfig) (ChaosResult, error) {
+	cfg.defaults()
+	ma, err := newChaosMachine(&cfg)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	rx := make([]int, len(ma.Cores)/2)
+	tx := make([]int, len(ma.Cores)-len(rx))
+	for i := range rx {
+		rx[i] = i
+	}
+	for i := range tx {
+		tx[i] = len(rx) + i
+	}
+	var res ChaosResult
+	res.Netperf, err = RunNetperf(NetperfConfig{
+		Machine:  ma,
+		RXCores:  rx,
+		TXCores:  tx,
+		Duration: cfg.Duration,
+		Warmup:   cfg.Warmup,
+	})
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	if err := finishChaos(ma, &res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// ChaosMemcachedResult pairs the workload row with the fault evidence.
+type ChaosMemcachedResult struct {
+	Memcached MemcachedResult
+	ChaosResult
+}
+
+// RunChaosMemcached runs the memcached request/response workload under the
+// fault schedule — the RX-and-TX-coupled flow where a lost completion stalls
+// a memslap slot until the watchdog reaps it.
+func RunChaosMemcached(cfg ChaosConfig) (ChaosMemcachedResult, error) {
+	cfg.defaults()
+	ma, err := newChaosMachine(&cfg)
+	if err != nil {
+		return ChaosMemcachedResult{}, err
+	}
+	var res ChaosMemcachedResult
+	res.Memcached, err = RunMemcached(MemcachedConfig{
+		Machine:  ma,
+		Duration: cfg.Duration,
+		Warmup:   cfg.Warmup,
+	})
+	if err != nil {
+		return ChaosMemcachedResult{}, err
+	}
+	if err := finishChaos(ma, &res.ChaosResult); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,192 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/asplos18/damn/internal/faults"
+	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/testbed"
+)
+
+// chaosCfg is the shared fast configuration: 4 cores and short windows keep
+// each run around a second while still pushing thousands of segments through
+// every fault point.
+func chaosCfg(seed int64, rate float64) ChaosConfig {
+	return ChaosConfig{
+		FaultSeed: seed,
+		// Rates set explicitly: FaultRate zero would mean "default".
+		Rates:    faults.UniformRates(rate),
+		Cores:    4,
+		Duration: 20 * sim.Millisecond,
+		Warmup:   5 * sim.Millisecond,
+	}
+}
+
+// TestChaosSeedReplay: the defining property of the fault plane — the same
+// seed replays a byte-identical fault schedule, so two runs agree on every
+// decision (digest), every count, the workload result and the entire final
+// metrics state.
+func TestChaosSeedReplay(t *testing.T) {
+	a, err := RunChaosNetperf(chaosCfg(42, 0.003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaosNetperf(chaosCfg(42, 0.003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ScheduleDigest != b.ScheduleDigest {
+		t.Fatalf("fault schedules diverged: digest %#x vs %#x", a.ScheduleDigest, b.ScheduleDigest)
+	}
+	if !reflect.DeepEqual(a.Injected, b.Injected) {
+		t.Fatalf("injected counts diverged:\n%v\n%v", a.Injected, b.Injected)
+	}
+	if a.Netperf != b.Netperf {
+		t.Fatalf("workload results diverged:\n%+v\n%+v", a.Netperf, b.Netperf)
+	}
+	if !reflect.DeepEqual(a.Snapshot, b.Snapshot) {
+		t.Fatal("final stats snapshots diverged between identical seeds")
+	}
+}
+
+// TestChaosSeedsDiverge: different seeds must produce different schedules —
+// otherwise the seed isn't reaching the streams.
+func TestChaosSeedsDiverge(t *testing.T) {
+	a, err := RunChaosNetperf(chaosCfg(1, 0.003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaosNetperf(chaosCfg(2, 0.003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InjectedTotal == 0 || b.InjectedTotal == 0 {
+		t.Fatalf("expected faults to fire: %d and %d", a.InjectedTotal, b.InjectedTotal)
+	}
+	if a.ScheduleDigest == b.ScheduleDigest {
+		t.Fatalf("different seeds produced identical schedule digest %#x", a.ScheduleDigest)
+	}
+}
+
+// TestChaosNetperfSurvivesFaults: under an aggressive uniform schedule the
+// run must complete without a panic, keep moving traffic, fire every
+// injectable fault kind at least once in aggregate, pass the allocator's
+// conservation audit, and expose the per-kind counters via the registry.
+func TestChaosNetperfSurvivesFaults(t *testing.T) {
+	res, err := RunChaosNetperf(chaosCfg(7, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Netperf.TotalGbps <= 0 {
+		t.Fatalf("machine stopped moving traffic under faults: %+v", res.Netperf)
+	}
+	if res.InjectedTotal == 0 {
+		t.Fatal("no faults fired at rate 0.01")
+	}
+	// Every kind on the netperf path should have fired at this rate. fio's
+	// storage path isn't exercised here, but all kinds share the NIC/DMA/
+	// alloc fault points so they all see visits.
+	for _, k := range faults.Kinds {
+		if res.Injected[k.String()] == 0 {
+			t.Errorf("fault kind %s never fired (visits missing?): %s", k, k)
+		}
+	}
+	// The degradation paths must be observable: injected DMA faults land in
+	// the IOMMU's fault-record queue, ITEs are retried, and the registry
+	// mirrors the injector's counts.
+	if res.FaultRecords == 0 {
+		t.Error("no IOMMU fault records despite injected DMA faults")
+	}
+	if res.ITETimeouts == 0 {
+		t.Error("no ITE timeouts recorded despite injected invalidation timeouts")
+	}
+	if res.DamnLiveChunks < 0 {
+		t.Error("DAMN scheme should run the conservation audit")
+	}
+	for _, k := range faults.Kinds {
+		key := "faults/injected_" + k.String()
+		if res.Snapshot.Counters[key] != res.Injected[k.String()] {
+			t.Errorf("registry counter %s=%d disagrees with injector %d",
+				key, res.Snapshot.Counters[key], res.Injected[k.String()])
+		}
+	}
+}
+
+// TestChaosZeroRateMatchesBaseline: arming the fault plane with all rates
+// zero must not change the workload numbers — the injection points and the
+// watchdog are free when nothing fires.
+func TestChaosZeroRateMatchesBaseline(t *testing.T) {
+	chaos, err := RunChaosNetperf(chaosCfg(9, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := testbed.NewMachine(testbed.MachineConfig{Scheme: testbed.SchemeDAMN, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunNetperf(NetperfConfig{
+		Machine: ma,
+		RXCores: []int{0, 1}, TXCores: []int{2, 3},
+		Duration: 20 * sim.Millisecond,
+		Warmup:   5 * sim.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaos.InjectedTotal != 0 {
+		t.Fatalf("rate 0 fired %d faults", chaos.InjectedTotal)
+	}
+	if chaos.Netperf != base {
+		t.Fatalf("zero-rate chaos run differs from fault-free baseline:\n%+v\n%+v",
+			chaos.Netperf, base)
+	}
+}
+
+// TestChaosThroughputDegradesGracefully: more injected faults may only cost
+// throughput, never wedge the machine; the decline must be graceful, not a
+// cliff to zero.
+func TestChaosThroughputDegradesGracefully(t *testing.T) {
+	rates := []float64{0, 0.003, 0.03}
+	gbps := make([]float64, len(rates))
+	for i, r := range rates {
+		res, err := RunChaosNetperf(chaosCfg(11, r))
+		if err != nil {
+			t.Fatalf("rate %v: %v", r, err)
+		}
+		gbps[i] = res.Netperf.TotalGbps
+		if gbps[i] <= 0 {
+			t.Fatalf("rate %v: machine wedged (%.3f Gb/s)", r, gbps[i])
+		}
+	}
+	// Monotone within tolerance: injected faults cost retries, drops and
+	// watchdog recoveries, so throughput must not *rise* with the rate
+	// (small scheduling noise gets 2% slack).
+	const slack = 1.02
+	for i := 1; i < len(gbps); i++ {
+		if gbps[i] > gbps[i-1]*slack {
+			t.Errorf("throughput rose with fault rate: %.3f Gb/s at %v vs %.3f Gb/s at %v",
+				gbps[i], rates[i], gbps[i-1], rates[i-1])
+		}
+	}
+	if gbps[len(gbps)-1] < gbps[0]*0.10 {
+		t.Errorf("degradation is a cliff, not graceful: %.3f -> %.3f Gb/s", gbps[0], gbps[len(gbps)-1])
+	}
+}
+
+// TestChaosMemcachedSurvivesFaults: the request/response workload couples RX
+// to TX, so a lost completion stalls a memslap slot until the watchdog reaps
+// it — the run must keep serving ops and pass the audit.
+func TestChaosMemcachedSurvivesFaults(t *testing.T) {
+	cfg := chaosCfg(13, 0.005)
+	res, err := RunChaosMemcached(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Memcached.TPS <= 0 {
+		t.Fatalf("memcached stopped serving under faults: %+v", res.Memcached)
+	}
+	if res.InjectedTotal == 0 {
+		t.Fatal("no faults fired")
+	}
+}

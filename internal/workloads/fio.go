@@ -133,7 +133,11 @@ func (th *fioThread) submit() {
 		err = th.cfg.NVMe.SubmitRead(th.qp, v, th.cfg.BlockSize, func(t2 *sim.Task, derr error) {
 			perf.Charge(t2, ma.Model.FioPerIOCycles/2) // completion half
 			if uerr := ma.Kernel.DMA.Unmap(t2, testbed.NVMeDeviceID, v, th.cfg.BlockSize, dmaapi.FromDevice); uerr != nil {
-				panic("workloads: fio unmap failed: " + uerr.Error())
+				// The buffer's mapping state is unknown; drop this I/O,
+				// count the error and keep the queue pumping.
+				ma.Stats.Counter("workloads", "fio_unmap_errors").Inc()
+				th.submit()
+				return
 			}
 			if derr == nil {
 				th.ops++
