@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench chaos ci
+.PHONY: all fmt vet build test race race-full bench bench-go chaos ci
 
 all: build
 
@@ -24,8 +24,23 @@ test:
 race:
 	$(GO) test -race -short -timeout 20m ./...
 
+# The full race pass: every test, figure reproductions included. CI runs it
+# as its own job; budget the better part of an hour locally.
+race-full:
+	$(GO) test -race -timeout 60m ./...
+
+# bench regenerates BENCH_PR3.json: engine event-loop microbenchmarks
+# (ns/op, allocs/op — the 0-alloc hot paths are regression-gated) plus the
+# quick-suite wall clock at -parallel 1 vs GOMAXPROCS with the speedup and a
+# byte-identity check between the two runs.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) run ./cmd/benchreport -out BENCH_PR3.json
+
+# bench-go runs the full go-test benchmark tiers: data-structure micro
+# benchmarks, engine micro benchmarks, one macro benchmark per paper figure,
+# and the serial/parallel full-suite macro.
+bench-go:
+	$(GO) test -bench=. -benchmem -timeout 60m -run=^$$ .
 
 # The chaos harness: workloads under deterministic fault injection, with
 # conservation audits and seed-replay checks, under the race detector.

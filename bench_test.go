@@ -14,6 +14,8 @@
 package damn_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	damn "github.com/asplos18/damn"
@@ -22,6 +24,7 @@ import (
 	"github.com/asplos18/damn/internal/experiments"
 	"github.com/asplos18/damn/internal/iommu"
 	"github.com/asplos18/damn/internal/mem"
+	"github.com/asplos18/damn/internal/sim"
 	"github.com/asplos18/damn/internal/testbed"
 )
 
@@ -170,6 +173,60 @@ func BenchmarkSkbAccess(b *testing.B) {
 		b.StopTimer()
 		skb.Free(nil)
 		b.StartTimer()
+	}
+}
+
+// ---- Engine micro benchmarks ----
+//
+// The event loop underneath every simulation. The free-list pool and the
+// reusable ticker event make all three steady-state paths allocation-free;
+// these benchmarks are the regression gate (cmd/benchreport records them in
+// BENCH_PR3.json).
+
+// BenchmarkEngineScheduleRun measures the schedule+dispatch round trip: one
+// event scheduled and executed per iteration. Steady state must not
+// allocate — the event struct comes from the engine's free pool.
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(sim.Microsecond, fn)
+		e.RunUntilIdle()
+	}
+}
+
+// BenchmarkEngineTicker measures one periodic tick. The ticker owns a single
+// pinned event and one closure for its whole lifetime, so ticking must not
+// allocate per period.
+func BenchmarkEngineTicker(b *testing.B) {
+	e := sim.NewEngine(1)
+	ticks := 0
+	stop := e.Every(sim.Microsecond, func() { ticks++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run(sim.Time(b.N) * sim.Microsecond)
+	b.StopTimer()
+	stop()
+	if ticks < b.N {
+		b.Fatalf("ticker ran %d times, want ≥ %d", ticks, b.N)
+	}
+}
+
+// BenchmarkEngineCancelStorm measures a start/stop ticker cycle with live
+// traffic in the heap — the pattern that used to leak cancelled events until
+// the engine learned to compact.
+func BenchmarkEngineCancelStorm(b *testing.B) {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stop := e.Every(sim.Microsecond, fn)
+		e.After(sim.Microsecond/2, fn)
+		stop()
+		e.RunUntilIdle()
 	}
 }
 
@@ -402,4 +459,34 @@ func BenchmarkAblations(b *testing.B) {
 		}
 	}
 	b.ReportMetric(gbps, "no-cache-Gb/s")
+}
+
+// BenchmarkSuiteQuick reruns the entire quick-mode evaluation suite (every
+// paper figure, in catalog order) once per iteration — serially and fanned
+// across GOMAXPROCS workers. The parallel/serial ratio is the headline
+// speedup recorded in BENCH_PR3.json; output byte-identity between the two
+// is asserted on every iteration.
+func BenchmarkSuiteQuick(b *testing.B) {
+	var serialOut string
+	b.Run("parallel-1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := experiments.RunSuite(experiments.Options{Quick: true, Seed: 1, Parallel: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			serialOut = out
+		}
+	})
+	workers := runtime.GOMAXPROCS(0)
+	b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := experiments.RunSuite(experiments.Options{Quick: true, Seed: 1, Parallel: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if serialOut != "" && out != serialOut {
+				b.Fatal("parallel suite output diverged from the serial run")
+			}
+		}
+	})
 }

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"github.com/asplos18/damn/internal/device"
 	"github.com/asplos18/damn/internal/dmaapi"
@@ -38,6 +40,7 @@ type outcome struct {
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "schemes attacked concurrently (1 = serial; output is byte-identical for any value)")
 	faultRate := flag.Float64("faults", 0, "per-visit fault-injection probability for every fault kind (0 = off)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
 	statsOut := flag.String("stats", "", "write per-scheme metrics snapshots to this JSON file")
@@ -58,15 +61,50 @@ func main() {
 	fmt.Println("DMA attack simulation — a compromised NIC attacks each configuration")
 	fmt.Println()
 	exitCode := 0
-	for _, scheme := range testbed.AllSchemes {
-		outs, snap, err := attack(scheme, *seed, tracer, faultCfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", scheme, err)
+
+	// Each scheme's machine is fully private, so the attacks fan out across
+	// workers; results print in scheme order, so output is byte-identical
+	// to a serial run. Tracing shares one sink — it forces serial.
+	type result struct {
+		outs []outcome
+		snap stats.Snapshot
+		err  error
+	}
+	workers := *parallel
+	if workers < 1 || tracer != nil {
+		workers = 1
+	}
+	if workers > len(testbed.AllSchemes) {
+		workers = len(testbed.AllSchemes)
+	}
+	results := make([]result, len(testbed.AllSchemes))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r := &results[i]
+				r.outs, r.snap, r.err = attack(testbed.AllSchemes[i], *seed, tracer, faultCfg)
+			}
+		}()
+	}
+	for i := range testbed.AllSchemes {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, scheme := range testbed.AllSchemes {
+		r := results[i]
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", scheme, r.err)
 			os.Exit(1)
 		}
-		snaps[string(scheme)] = snap
+		snaps[string(scheme)] = r.snap
 		fmt.Printf("=== %s ===\n", scheme)
-		for _, o := range outs {
+		for _, o := range r.outs {
 			verdict := "BLOCKED"
 			if o.landed {
 				verdict = "LANDED "

@@ -3,14 +3,21 @@
 //
 // Usage:
 //
-//	damnbench [-quick] [-seed N] [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|chaos]
+//	damnbench [-quick] [-parallel N] [-seed N]
+//	          [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|chaos]
 //	          [-faults P] [-fault-seed N] [-stats out.json] [-trace out.trace]
 //
 // The default full-fidelity run takes a few minutes; -quick shrinks the
-// measurement windows for a fast smoke pass. -stats writes a JSON document
-// with every machine's metrics registry keyed "<figure>/<scheme>"; -trace
-// writes a Chrome trace_event file (load in chrome://tracing or Perfetto)
-// with one process per simulated machine and one thread per core.
+// measurement windows for a fast smoke pass. -parallel N fans each figure's
+// scheme × datapoint jobs out across N workers (default GOMAXPROCS;
+// -parallel 1 reproduces the fully serial run). Every job owns a private
+// simulated machine and RNG and results are collected in declaration order,
+// so stdout is byte-identical for every N; per-figure timing goes to stderr
+// to keep it that way. -stats writes a JSON document with every machine's
+// metrics registry keyed "<figure>/<scheme>"; -trace writes a Chrome
+// trace_event file (load in chrome://tracing or Perfetto) with one process
+// per simulated machine and one thread per core — tracing shares one sink
+// across machines, so it forces a serial run.
 //
 // -faults P arms the deterministic fault-injection plane on every machine:
 // each fault kind (link drop/corrupt/duplicate/reorder, DMA faults,
@@ -25,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -34,6 +42,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "short measurement windows")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker count (1 = serial; output is byte-identical for any value)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	faultRate := flag.Float64("faults", 0, "per-visit fault-injection probability for every fault kind (0 = off); see internal/faults")
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule (used with -faults or -exp chaos)")
@@ -42,7 +51,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every simulated machine")
 	flag.Parse()
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed,
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel,
 		FaultRate: *faultRate, FaultSeed: *faultSeed}
 	var snaps map[string]stats.Snapshot
 	if *statsOut != "" {
@@ -58,85 +67,25 @@ func main() {
 	}
 	all := want["all"]
 
-	type job struct {
-		name string
-		run  func() (string, error)
-	}
-	jobs := []job{
-		{"table1", func() (string, error) {
-			rows, err := experiments.Table1(opts)
-			return experiments.RenderTable1(rows), err
-		}},
-		{"fig4", func() (string, error) {
-			rows, err := experiments.Fig4(opts)
-			return experiments.RenderFig4(rows), err
-		}},
-		{"fig5", func() (string, error) {
-			rows, err := experiments.Fig5(opts)
-			return experiments.RenderFig5(rows), err
-		}},
-		{"fig6", func() (string, error) {
-			rows, err := experiments.Fig6(opts)
-			return experiments.RenderFig6(rows), err
-		}},
-		{"table3", func() (string, error) {
-			rows, err := experiments.Table3(opts)
-			return experiments.RenderTable3(rows), err
-		}},
-		{"fig2", func() (string, error) {
-			rows, err := experiments.Fig2(opts)
-			return experiments.RenderFig2(rows), err
-		}},
-		{"fig7", func() (string, error) {
-			rows, err := experiments.Fig7(opts)
-			return experiments.RenderFig7(rows), err
-		}},
-		{"fig8", func() (string, error) {
-			rows, err := experiments.Fig8(opts)
-			return experiments.RenderFig8(rows), err
-		}},
-		{"fig9", func() (string, error) {
-			rows, err := experiments.Fig9(opts)
-			return experiments.RenderFig9(rows), err
-		}},
-		{"fig10", func() (string, error) {
-			rows, err := experiments.Fig10(opts)
-			return experiments.RenderFig10(rows), err
-		}},
-		{"fig11", func() (string, error) {
-			rows, err := experiments.Fig11(opts)
-			return experiments.RenderFig11(rows), err
-		}},
-		{"ablations", func() (string, error) {
-			rows, err := experiments.Ablations(opts)
-			return experiments.RenderAblations(rows), err
-		}},
-		{"footnote5", func() (string, error) {
-			rows, err := experiments.Footnote5(opts)
-			return experiments.RenderFootnote5(rows), err
-		}},
-		// chaos is the robustness harness, not a paper figure: run it only
-		// when asked for by name, so -exp all stays the paper's output.
-		{"chaos", func() (string, error) {
-			rows, err := experiments.Chaos(opts)
-			return experiments.RenderChaos(rows), err
-		}},
-	}
-
 	ran := 0
-	for _, j := range jobs {
-		if !want[j.name] && (!all || j.name == "chaos") {
+	for _, fig := range experiments.Catalog() {
+		// The chaos harness is a robustness gate, not a paper figure: run
+		// it only when asked for by name, so -exp all stays the paper's
+		// output.
+		if !want[fig.Name] && (!all || !fig.Paper) {
 			continue
 		}
 		ran++
 		start := time.Now()
-		out, err := j.run()
+		out, err := fig.Run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", j.name, err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", fig.Name, err)
 			os.Exit(1)
 		}
 		fmt.Println(out)
-		fmt.Printf("(%s computed in %.1fs)\n\n", j.name, time.Since(start).Seconds())
+		// Wall-clock timing goes to stderr: stdout stays byte-identical
+		// across runs and -parallel settings.
+		fmt.Fprintf(os.Stderr, "(%s computed in %.1fs)\n", fig.Name, time.Since(start).Seconds())
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

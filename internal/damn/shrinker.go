@@ -1,6 +1,8 @@
 package damn
 
 import (
+	"sort"
+
 	"github.com/asplos18/damn/internal/iommu"
 	"github.com/asplos18/damn/internal/iova"
 	"github.com/asplos18/damn/internal/perf"
@@ -19,10 +21,27 @@ import (
 //
 // Returns the number of pages released to the system.
 func (d *DAMN) Shrink(x Ctx) int64 {
+	// Release order is simulation-visible (unmaps and IOTLB invalidations
+	// are charged work), so walk the caches in sorted-key order rather
+	// than map order.
 	d.mu.Lock()
-	caches := make([]*dmaCache, 0, len(d.caches))
-	for _, c := range d.caches {
-		caches = append(caches, c)
+	keys := make([]cacheKey, 0, len(d.caches))
+	for k := range d.caches {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.dev != b.dev {
+			return a.dev < b.dev
+		}
+		if a.rights != b.rights {
+			return a.rights < b.rights
+		}
+		return a.node < b.node
+	})
+	caches := make([]*dmaCache, 0, len(keys))
+	for _, k := range keys {
+		caches = append(caches, d.caches[k])
 	}
 	d.mu.Unlock()
 

@@ -2,6 +2,7 @@ package dmaapi
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/asplos18/damn/internal/iommu"
@@ -266,10 +267,15 @@ func (s *DeferredScheme) flushLocked(c perf.Charger) {
 		s.invLock.Lock(task, s.model.InvLockHoldCycles)
 	}
 	devs := map[int]bool{}
+	var order []int
 	for _, e := range s.pending {
-		devs[e.dev] = true
+		if !devs[e.dev] {
+			devs[e.dev] = true
+			order = append(order, e.dev)
+		}
 	}
-	for dev := range devs {
+	sort.Ints(order) // invalidation order is simulation-visible; keep it deterministic
+	for _, dev := range order {
 		if err := s.u.InvQ().Submit(iommu.Command{Kind: iommu.InvDomain, Dev: dev}); err != nil {
 			// Domain invalidations are always well-formed and a full
 			// queue drains synchronously, so a rejection here is a bug.

@@ -35,27 +35,26 @@ func Ablations(opts Options) ([]AblationRow, error) {
 		testbed.SchemeDeferred,
 	}
 	warm, dur := opts.durations()
-	var rows []AblationRow
-	for _, scheme := range schemes {
+	return runJobs(opts, len(schemes), func(i int, opts Options) (AblationRow, error) {
+		scheme := schemes[i]
 		ma, err := newMachine(scheme, opts, 512<<20, 32)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		res, err := workloads.RunNetperf(workloads.NetperfConfig{
 			Machine: ma, Warmup: warm, Duration: dur,
 			RXCores: repCores(0, 4),
 		})
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		opts.emit("ablations/"+string(scheme), ma)
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Config:    string(scheme),
 			TotalGbps: res.TotalGbps,
 			CPUUtil:   res.CPUUtil * float64(len(ma.Cores)), // one-core scale
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderAblations renders the ablation table as text.

@@ -1,0 +1,138 @@
+package experiments
+
+import "strings"
+
+// Figure is one runnable entry of the evaluation: it regenerates a table or
+// figure of the paper (or the chaos harness) and renders it as text.
+type Figure struct {
+	Name string
+	// Paper marks the entries that belong to the paper's evaluation; the
+	// chaos harness is a robustness gate, not a figure, and only runs when
+	// asked for by name.
+	Paper bool
+	Run   func(Options) (string, error)
+}
+
+// Catalog returns every figure in the canonical output order used by
+// cmd/damnbench, the determinism tests and the bench harness.
+func Catalog() []Figure {
+	return []Figure{
+		{"table1", true, func(o Options) (string, error) {
+			rows, err := Table1(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderTable1(rows), nil
+		}},
+		{"fig4", true, func(o Options) (string, error) {
+			rows, err := Fig4(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig4(rows), nil
+		}},
+		{"fig5", true, func(o Options) (string, error) {
+			rows, err := Fig5(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig5(rows), nil
+		}},
+		{"fig6", true, func(o Options) (string, error) {
+			rows, err := Fig6(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig6(rows), nil
+		}},
+		{"table3", true, func(o Options) (string, error) {
+			rows, err := Table3(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderTable3(rows), nil
+		}},
+		{"fig2", true, func(o Options) (string, error) {
+			rows, err := Fig2(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig2(rows), nil
+		}},
+		{"fig7", true, func(o Options) (string, error) {
+			rows, err := Fig7(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig7(rows), nil
+		}},
+		{"fig8", true, func(o Options) (string, error) {
+			rows, err := Fig8(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig8(rows), nil
+		}},
+		{"fig9", true, func(o Options) (string, error) {
+			points, err := Fig9(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig9(points), nil
+		}},
+		{"fig10", true, func(o Options) (string, error) {
+			rows, err := Fig10(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig10(rows), nil
+		}},
+		{"fig11", true, func(o Options) (string, error) {
+			rows, err := Fig11(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFig11(rows), nil
+		}},
+		{"ablations", true, func(o Options) (string, error) {
+			rows, err := Ablations(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderAblations(rows), nil
+		}},
+		{"footnote5", true, func(o Options) (string, error) {
+			rows, err := Footnote5(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderFootnote5(rows), nil
+		}},
+		{"chaos", false, func(o Options) (string, error) {
+			rows, err := Chaos(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderChaos(rows), nil
+		}},
+	}
+}
+
+// RunSuite runs every paper figure of the catalog in order and returns the
+// concatenated rendered output. This is the determinism contract surface:
+// the returned text is byte-identical for any Options.Parallel value.
+func RunSuite(opts Options) (string, error) {
+	var b strings.Builder
+	for _, fig := range Catalog() {
+		if !fig.Paper {
+			continue
+		}
+		out, err := fig.Run(opts)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(out)
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

@@ -36,43 +36,51 @@ func Chaos(opts Options) ([]ChaosRow, error) {
 	}
 	cfg := workloads.ChaosConfig{FaultSeed: opts.FaultSeed, FaultRate: rate}
 
-	np, err := workloads.RunChaosNetperf(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("chaos netperf: %w", err)
-	}
-	if opts.OnStats != nil {
-		opts.OnStats("chaos/netperf", np.Snapshot)
-	}
-	mc, err := workloads.RunChaosMemcached(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("chaos memcached: %w", err)
-	}
-	if opts.OnStats != nil {
-		opts.OnStats("chaos/memcached", mc.Snapshot)
-	}
-	return []ChaosRow{
-		{
-			Workload: "netperf", Scheme: np.Netperf.Scheme,
-			Metric: np.Netperf.TotalGbps, MetricUnit: "Gb/s",
-			Injected: np.InjectedTotal, Counts: formatRes(&np),
-			Digest:       np.ScheduleDigest,
-			FaultRecords: np.FaultRecords, ITETimeouts: np.ITETimeouts,
+	// Two independent jobs: each chaos workload builds its own machine.
+	runs := []func(opts Options) (ChaosRow, error){
+		func(opts Options) (ChaosRow, error) {
+			np, err := workloads.RunChaosNetperf(cfg)
+			if err != nil {
+				return ChaosRow{}, fmt.Errorf("chaos netperf: %w", err)
+			}
+			if opts.OnStats != nil {
+				opts.OnStats("chaos/netperf", np.Snapshot)
+			}
+			return ChaosRow{
+				Workload: "netperf", Scheme: np.Netperf.Scheme,
+				Metric: np.Netperf.TotalGbps, MetricUnit: "Gb/s",
+				Injected: np.InjectedTotal, Counts: formatRes(&np),
+				Digest:       np.ScheduleDigest,
+				FaultRecords: np.FaultRecords, ITETimeouts: np.ITETimeouts,
+			}, nil
 		},
-		{
-			Workload: "memcached", Scheme: mc.Memcached.Scheme,
-			Metric: mc.Memcached.TPS, MetricUnit: "op/s",
-			Injected: mc.InjectedTotal, Counts: formatRes(&mc.ChaosResult),
-			Digest:       mc.ScheduleDigest,
-			FaultRecords: mc.FaultRecords, ITETimeouts: mc.ITETimeouts,
+		func(opts Options) (ChaosRow, error) {
+			mc, err := workloads.RunChaosMemcached(cfg)
+			if err != nil {
+				return ChaosRow{}, fmt.Errorf("chaos memcached: %w", err)
+			}
+			if opts.OnStats != nil {
+				opts.OnStats("chaos/memcached", mc.Snapshot)
+			}
+			return ChaosRow{
+				Workload: "memcached", Scheme: mc.Memcached.Scheme,
+				Metric: mc.Memcached.TPS, MetricUnit: "op/s",
+				Injected: mc.InjectedTotal, Counts: formatRes(&mc.ChaosResult),
+				Digest:       mc.ScheduleDigest,
+				FaultRecords: mc.FaultRecords, ITETimeouts: mc.ITETimeouts,
+			}, nil
 		},
-	}, nil
+	}
+	return runJobs(opts, len(runs), func(i int, opts Options) (ChaosRow, error) {
+		return runs[i](opts)
+	})
 }
 
 func formatRes(r *workloads.ChaosResult) string {
 	top := ""
 	var best uint64
 	for k, n := range r.Injected {
-		if n > best {
+		if n > best || (n == best && n > 0 && (top == "" || k < top)) {
 			best, top = n, k
 		}
 	}

@@ -22,6 +22,14 @@ type Options struct {
 	Quick bool
 	Seed  int64
 
+	// Parallel is the worker count for the experiment runner (see
+	// runner.go): every figure fans its scheme × datapoint jobs out across
+	// this many workers. 0 means runtime.GOMAXPROCS(0); 1 runs the jobs
+	// inline (serial). Output is byte-identical regardless of the value —
+	// each job owns its machines and RNG, and results and stats emissions
+	// are collected in declaration order.
+	Parallel int
+
 	// FaultRate, when positive, arms the deterministic fault-injection
 	// plane on every machine the experiments build, giving each fault kind
 	// this per-visit probability (see internal/faults). The degradation

@@ -40,7 +40,7 @@ func Fig2(opts Options) ([]InterferenceRow, error) {
 		{10, 11, 12, 13, 24, 25, 26, 27},
 	}
 
-	run := func(scheme testbed.Scheme, withNet, withGraph bool) (InterferenceRow, error) {
+	run := func(opts Options, scheme testbed.Scheme, withNet, withGraph bool) (InterferenceRow, error) {
 		ma, err := newMachine(scheme, opts, 1<<30, 32)
 		if err != nil {
 			return InterferenceRow{}, err
@@ -94,29 +94,30 @@ func Fig2(opts Options) ([]InterferenceRow, error) {
 		return row, nil
 	}
 
-	var rows []InterferenceRow
+	type spec struct {
+		scheme             testbed.Scheme
+		withNet, withGraph bool
+		rename             string
+	}
+	var specs []spec
 	for _, scheme := range testbed.AllSchemes {
-		r, err := run(scheme, true, true)
+		specs = append(specs, spec{scheme, true, true, ""})
+	}
+	// "no graph": netperf alone with the IOMMU off; "no net": Graph500 alone.
+	specs = append(specs,
+		spec{testbed.SchemeOff, true, false, "no graph"},
+		spec{testbed.SchemeOff, false, true, "no net"})
+	return runJobs(opts, len(specs), func(i int, opts Options) (InterferenceRow, error) {
+		s := specs[i]
+		r, err := run(opts, s.scheme, s.withNet, s.withGraph)
 		if err != nil {
-			return nil, err
+			return InterferenceRow{}, err
 		}
-		rows = append(rows, r)
-	}
-	// "no graph": netperf alone with the IOMMU off.
-	ng, err := run(testbed.SchemeOff, true, false)
-	if err != nil {
-		return nil, err
-	}
-	ng.Config = "no graph"
-	rows = append(rows, ng)
-	// "no net": Graph500 alone.
-	nn, err := run(testbed.SchemeOff, false, true)
-	if err != nil {
-		return nil, err
-	}
-	nn.Config = "no net"
-	rows = append(rows, nn)
-	return rows, nil
+		if s.rename != "" {
+			r.Config = s.rename
+		}
+		return r, nil
+	})
 }
 
 // RenderFig2 renders the figure as text.
@@ -147,22 +148,22 @@ type MemcachedRow struct {
 // 50/50 GET/SET of 512 KiB values.
 func Fig7(opts Options) ([]MemcachedRow, error) {
 	warm, dur := opts.durations()
-	var rows []MemcachedRow
-	for _, scheme := range testbed.AllSchemes {
+	schemes := testbed.AllSchemes
+	return runJobs(opts, len(schemes), func(i int, opts Options) (MemcachedRow, error) {
+		scheme := schemes[i]
 		ma, err := newMachine(scheme, opts, 1<<30, 32)
 		if err != nil {
-			return nil, err
+			return MemcachedRow{}, err
 		}
 		res, err := workloads.RunMemcached(workloads.MemcachedConfig{
 			Machine: ma, Warmup: warm, Duration: dur,
 		})
 		if err != nil {
-			return nil, err
+			return MemcachedRow{}, err
 		}
 		opts.emit("fig7/"+string(scheme), ma)
-		rows = append(rows, MemcachedRow{Scheme: string(scheme), TPS: res.TPS, CPUUtil: res.CPUUtil})
-	}
-	return rows, nil
+		return MemcachedRow{Scheme: string(scheme), TPS: res.TPS, CPUUtil: res.CPUUtil}, nil
+	})
 }
 
 // RenderFig7 renders the figure as text.
@@ -190,45 +191,51 @@ func Fig8(opts Options) ([]TocttouRow, error) {
 	warm, dur := opts.durations()
 	sizes := []int{0, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10}
 	schemes := []testbed.Scheme{testbed.SchemeOff, testbed.SchemeShadow, testbed.SchemeDAMN}
-	var rows []TocttouRow
+	type spec struct {
+		scheme testbed.Scheme
+		n      int
+	}
+	var specs []spec
 	for _, scheme := range schemes {
 		for _, n := range sizes {
-			ma, err := newMachine(scheme, opts, 1<<30, 32)
-			if err != nil {
-				return nil, err
-			}
-			n := n
-			if n > 0 {
-				ma.Kernel.Netfilter.Register(func(t *sim.Task, skb *netstack.SKBuff) netstack.Verdict {
-					// Access pulls the bytes out of the device's
-					// reach (the DAMN copy); the XOR itself is the
-					// cheap segment processing of §6.2.
-					if _, err := skb.Access(t, n); err != nil {
-						return netstack.Drop
-					}
-					perf.Charge(t, float64(n)*ma.Model.XorCyclesPerByte)
-					return netstack.Accept
-				})
-			}
-			res, err := workloads.RunNetperf(workloads.NetperfConfig{
-				Machine: ma, Warmup: warm, Duration: dur,
-				RXCores:     seqCores(14),
-				ExtraCycles: extraFig8, Wakeup: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			opts.emit(fmt.Sprintf("fig8/%s-%dB", scheme, n), ma)
-			rows = append(rows, TocttouRow{
-				Scheme:        string(scheme),
-				AccessedBytes: n,
-				// Report CPU relative to the 14 busy cores, as the figure does.
-				CPUUtil: res.CPUUtil * float64(len(ma.Cores)) / 14,
-				Gbps:    res.RXGbps,
-			})
+			specs = append(specs, spec{scheme, n})
 		}
 	}
-	return rows, nil
+	return runJobs(opts, len(specs), func(i int, opts Options) (TocttouRow, error) {
+		scheme, n := specs[i].scheme, specs[i].n
+		ma, err := newMachine(scheme, opts, 1<<30, 32)
+		if err != nil {
+			return TocttouRow{}, err
+		}
+		if n > 0 {
+			ma.Kernel.Netfilter.Register(func(t *sim.Task, skb *netstack.SKBuff) netstack.Verdict {
+				// Access pulls the bytes out of the device's
+				// reach (the DAMN copy); the XOR itself is the
+				// cheap segment processing of §6.2.
+				if _, err := skb.Access(t, n); err != nil {
+					return netstack.Drop
+				}
+				perf.Charge(t, float64(n)*ma.Model.XorCyclesPerByte)
+				return netstack.Accept
+			})
+		}
+		res, err := workloads.RunNetperf(workloads.NetperfConfig{
+			Machine: ma, Warmup: warm, Duration: dur,
+			RXCores:     seqCores(14),
+			ExtraCycles: extraFig8, Wakeup: true,
+		})
+		if err != nil {
+			return TocttouRow{}, err
+		}
+		opts.emit(fmt.Sprintf("fig8/%s-%dB", scheme, n), ma)
+		return TocttouRow{
+			Scheme:        string(scheme),
+			AccessedBytes: n,
+			// Report CPU relative to the 14 busy cores, as the figure does.
+			CPUUtil: res.CPUUtil * float64(len(ma.Cores)) / 14,
+			Gbps:    res.RXGbps,
+		}, nil
+	})
 }
 
 // RenderFig8 renders the figure as text.

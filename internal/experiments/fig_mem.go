@@ -23,6 +23,19 @@ type Fig9Point struct {
 // four netperfs beside an iterative kernel compile; the simulation runs a
 // time-scaled version of the same setup (see EXPERIMENTS.md).
 func Fig9(opts Options) ([]Fig9Point, error) {
+	// One machine sampled over time — a single job, routed through the
+	// runner so stats emission follows the same deterministic path as the
+	// fanned-out figures.
+	pointSets, err := runJobs(opts, 1, func(_ int, opts Options) ([]Fig9Point, error) {
+		return fig9Run(opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pointSets[0], nil
+}
+
+func fig9Run(opts Options) ([]Fig9Point, error) {
 	total := 10 * sim.Second
 	sample := 500 * sim.Millisecond
 	if opts.Quick {
@@ -105,52 +118,60 @@ func Fig10(opts Options) ([]MemUsageRow, error) {
 	if opts.Quick {
 		counts = []int{4, 28}
 	}
-	var rows []MemUsageRow
+	type spec struct {
+		scheme testbed.Scheme
+		dir    string
+		n      int
+	}
+	var specs []spec
 	for _, scheme := range []testbed.Scheme{testbed.SchemeOff, testbed.SchemeDAMN} {
 		for _, dir := range []string{"RX", "TX", "bidir"} {
 			for _, n := range counts {
-				ma, err := newMachine(scheme, opts, 2<<30, 32)
-				if err != nil {
-					return nil, err
-				}
-				// Sample allocated kernel pages every millisecond.
-				var samples []int64
-				stop := ma.Sim.Every(sim.Millisecond, func() {
-					samples = append(samples, ma.Mem.AllocatedPages())
-				})
-				cfg := workloads.NetperfConfig{
-					Machine: ma, Warmup: warm, Duration: dur,
-					ExtraCycles: extraMultiCore, Wakeup: true,
-				}
-				switch dir {
-				case "RX":
-					cfg.RXCores = seqCores(n)
-				case "TX":
-					cfg.TXCores = seqCores(n)
-				default:
-					cfg.RXCores = seqCores(n)
-					cfg.TXCores = seqCores(n)
-				}
-				if _, err := workloads.RunNetperf(cfg); err != nil {
-					return nil, err
-				}
-				stop()
-				var sum int64
-				for _, s := range samples {
-					sum += s
-				}
-				avg := 0.0
-				if len(samples) > 0 {
-					avg = float64(sum) / float64(len(samples)) * mem.PageSize / (1 << 20)
-				}
-				opts.emit(fmt.Sprintf("fig10/%s-%s-%d", scheme, dir, n), ma)
-				rows = append(rows, MemUsageRow{
-					Scheme: string(scheme), Direction: dir, Instances: n, AvgMiB: avg,
-				})
+				specs = append(specs, spec{scheme, dir, n})
 			}
 		}
 	}
-	return rows, nil
+	return runJobs(opts, len(specs), func(i int, opts Options) (MemUsageRow, error) {
+		scheme, dir, n := specs[i].scheme, specs[i].dir, specs[i].n
+		ma, err := newMachine(scheme, opts, 2<<30, 32)
+		if err != nil {
+			return MemUsageRow{}, err
+		}
+		// Sample allocated kernel pages every millisecond.
+		var samples []int64
+		stop := ma.Sim.Every(sim.Millisecond, func() {
+			samples = append(samples, ma.Mem.AllocatedPages())
+		})
+		cfg := workloads.NetperfConfig{
+			Machine: ma, Warmup: warm, Duration: dur,
+			ExtraCycles: extraMultiCore, Wakeup: true,
+		}
+		switch dir {
+		case "RX":
+			cfg.RXCores = seqCores(n)
+		case "TX":
+			cfg.TXCores = seqCores(n)
+		default:
+			cfg.RXCores = seqCores(n)
+			cfg.TXCores = seqCores(n)
+		}
+		if _, err := workloads.RunNetperf(cfg); err != nil {
+			return MemUsageRow{}, err
+		}
+		stop()
+		var sum int64
+		for _, s := range samples {
+			sum += s
+		}
+		avg := 0.0
+		if len(samples) > 0 {
+			avg = float64(sum) / float64(len(samples)) * mem.PageSize / (1 << 20)
+		}
+		opts.emit(fmt.Sprintf("fig10/%s-%s-%d", scheme, dir, n), ma)
+		return MemUsageRow{
+			Scheme: string(scheme), Direction: dir, Instances: n, AvgMiB: avg,
+		}, nil
+	})
 }
 
 // RenderFig10 renders the figure as text.

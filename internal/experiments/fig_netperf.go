@@ -14,38 +14,52 @@ type SingleCoreRow struct {
 	CPUUtil float64 // of ONE core (the paper's Fig 4 y2-axis)
 }
 
-// Fig4 reproduces Figure 4 (a: RX, b: TX).
+// Fig4 reproduces Figure 4 (a: RX, b: TX). One job per direction × scheme.
 func Fig4(opts Options) ([]SingleCoreRow, error) {
 	warm, dur := opts.durations()
-	var rows []SingleCoreRow
+	specs := crossDirScheme(testbed.AllSchemes)
+	return runJobs(opts, len(specs), func(i int, opts Options) (SingleCoreRow, error) {
+		dir, scheme := specs[i].dir, specs[i].scheme
+		ma, err := newMachine(scheme, opts, 512<<20, 32)
+		if err != nil {
+			return SingleCoreRow{}, err
+		}
+		cfg := workloads.NetperfConfig{
+			Machine: ma, Warmup: warm, Duration: dur,
+			ExtraCycles: extraSingleCore,
+		}
+		if dir == "RX" {
+			cfg.RXCores = repCores(0, 4)
+		} else {
+			cfg.TXCores = repCores(0, 4)
+		}
+		res, err := workloads.RunNetperf(cfg)
+		if err != nil {
+			return SingleCoreRow{}, err
+		}
+		opts.emit("fig4/"+string(scheme)+"-"+dir, ma)
+		return SingleCoreRow{
+			Scheme: string(scheme), Dir: dir,
+			Gbps:    res.TotalGbps,
+			CPUUtil: res.CPUUtil * float64(len(ma.Cores)), // one-core scale
+		}, nil
+	})
+}
+
+// dirScheme is one direction × scheme job spec shared by Fig 4 and Fig 5.
+type dirScheme struct {
+	dir    string
+	scheme testbed.Scheme
+}
+
+func crossDirScheme(schemes []testbed.Scheme) []dirScheme {
+	var specs []dirScheme
 	for _, dir := range []string{"RX", "TX"} {
-		for _, scheme := range testbed.AllSchemes {
-			ma, err := newMachine(scheme, opts, 512<<20, 32)
-			if err != nil {
-				return nil, err
-			}
-			cfg := workloads.NetperfConfig{
-				Machine: ma, Warmup: warm, Duration: dur,
-				ExtraCycles: extraSingleCore,
-			}
-			if dir == "RX" {
-				cfg.RXCores = repCores(0, 4)
-			} else {
-				cfg.TXCores = repCores(0, 4)
-			}
-			res, err := workloads.RunNetperf(cfg)
-			if err != nil {
-				return nil, err
-			}
-			opts.emit("fig4/"+string(scheme)+"-"+dir, ma)
-			rows = append(rows, SingleCoreRow{
-				Scheme: string(scheme), Dir: dir,
-				Gbps:    res.TotalGbps,
-				CPUUtil: res.CPUUtil * float64(len(ma.Cores)), // one-core scale
-			})
+		for _, scheme := range schemes {
+			specs = append(specs, dirScheme{dir, scheme})
 		}
 	}
-	return rows, nil
+	return specs
 }
 
 // RenderFig4 renders the figure as text.
@@ -66,37 +80,35 @@ type MultiCoreRow struct {
 	CPUUtil float64 // of all 28 cores
 }
 
-// Fig5 reproduces Figure 5 (a: RX, b: TX).
+// Fig5 reproduces Figure 5 (a: RX, b: TX). One job per direction × scheme.
 func Fig5(opts Options) ([]MultiCoreRow, error) {
 	warm, dur := opts.durations()
-	var rows []MultiCoreRow
-	for _, dir := range []string{"RX", "TX"} {
-		for _, scheme := range testbed.AllSchemes {
-			ma, err := newMachine(scheme, opts, 1<<30, 32)
-			if err != nil {
-				return nil, err
-			}
-			cfg := workloads.NetperfConfig{
-				Machine: ma, Warmup: warm, Duration: dur,
-				ExtraCycles: extraMultiCore, Wakeup: true,
-			}
-			if dir == "RX" {
-				cfg.RXCores = seqCores(len(ma.Cores))
-			} else {
-				cfg.TXCores = seqCores(len(ma.Cores))
-			}
-			res, err := workloads.RunNetperf(cfg)
-			if err != nil {
-				return nil, err
-			}
-			opts.emit("fig5/"+string(scheme)+"-"+dir, ma)
-			rows = append(rows, MultiCoreRow{
-				Scheme: string(scheme), Dir: dir,
-				Gbps: res.TotalGbps, CPUUtil: res.CPUUtil,
-			})
+	specs := crossDirScheme(testbed.AllSchemes)
+	return runJobs(opts, len(specs), func(i int, opts Options) (MultiCoreRow, error) {
+		dir, scheme := specs[i].dir, specs[i].scheme
+		ma, err := newMachine(scheme, opts, 1<<30, 32)
+		if err != nil {
+			return MultiCoreRow{}, err
 		}
-	}
-	return rows, nil
+		cfg := workloads.NetperfConfig{
+			Machine: ma, Warmup: warm, Duration: dur,
+			ExtraCycles: extraMultiCore, Wakeup: true,
+		}
+		if dir == "RX" {
+			cfg.RXCores = seqCores(len(ma.Cores))
+		} else {
+			cfg.TXCores = seqCores(len(ma.Cores))
+		}
+		res, err := workloads.RunNetperf(cfg)
+		if err != nil {
+			return MultiCoreRow{}, err
+		}
+		opts.emit("fig5/"+string(scheme)+"-"+dir, ma)
+		return MultiCoreRow{
+			Scheme: string(scheme), Dir: dir,
+			Gbps: res.TotalGbps, CPUUtil: res.CPUUtil,
+		}, nil
+	})
 }
 
 // RenderFig5 renders the figure as text.
@@ -129,11 +141,11 @@ func Fig6(opts Options) ([]BidirRow, error) {
 
 func fig6Schemes(opts Options, schemes []testbed.Scheme) ([]BidirRow, error) {
 	warm, dur := opts.durations()
-	var rows []BidirRow
-	for _, scheme := range schemes {
+	return runJobs(opts, len(schemes), func(i int, opts Options) (BidirRow, error) {
+		scheme := schemes[i]
 		ma, err := newMachine(scheme, opts, 1<<30, 32)
 		if err != nil {
-			return nil, err
+			return BidirRow{}, err
 		}
 		res, err := workloads.RunNetperf(workloads.NetperfConfig{
 			Machine: ma, Warmup: warm, Duration: dur,
@@ -142,16 +154,15 @@ func fig6Schemes(opts Options, schemes []testbed.Scheme) ([]BidirRow, error) {
 			ExtraCycles: extraBidir, Wakeup: true,
 		})
 		if err != nil {
-			return nil, err
+			return BidirRow{}, err
 		}
 		opts.emit("fig6/"+string(scheme), ma)
-		rows = append(rows, BidirRow{
+		return BidirRow{
 			Scheme:    string(scheme),
 			TotalGbps: res.TotalGbps, RXGbps: res.RXGbps, TXGbps: res.TXGbps,
 			CPUUtil: res.CPUUtil, MemBWGBps: res.MemBWGBps,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderFig6 renders the figure as text.

@@ -30,34 +30,41 @@ func Fig11(opts Options) ([]FioRow, error) {
 	schemes := []testbed.Scheme{
 		testbed.SchemeOff, testbed.SchemeDeferred, testbed.SchemeStrict, testbed.SchemeShadow,
 	}
-	var rows []FioRow
+	type spec struct {
+		scheme testbed.Scheme
+		bs     int
+	}
+	var specs []spec
 	for _, scheme := range schemes {
 		for _, bs := range blocks {
-			ma, err := testbed.NewMachine(testbed.MachineConfig{
-				Scheme: scheme, MemBytes: 256 << 20, Seed: opts.Seed, NoNIC: true,
-				Tracer: opts.Tracer,
-				Faults: opts.faultConfig(),
-			})
-			if err != nil {
-				return nil, err
-			}
-			nvme := device.NewNVMe(ma.Sim, ma.IOMMU, ma.Model, ma.Cores,
-				device.DefaultP3700(testbed.NVMeDeviceID))
-			res, err := workloads.RunFio(workloads.FioConfig{
-				Machine: ma, NVMe: nvme, BlockSize: bs,
-				Warmup: warm, Duration: dur,
-			})
-			if err != nil {
-				return nil, err
-			}
-			opts.emit(fmt.Sprintf("fig11/%s-%dB", scheme, bs), ma)
-			rows = append(rows, FioRow{
-				Scheme: string(scheme), BlockSize: bs,
-				KIOPS: res.IOPS / 1e3, GiBps: res.GiBps, CPUUtil: res.CPUUtil,
-			})
+			specs = append(specs, spec{scheme, bs})
 		}
 	}
-	return rows, nil
+	return runJobs(opts, len(specs), func(i int, opts Options) (FioRow, error) {
+		scheme, bs := specs[i].scheme, specs[i].bs
+		ma, err := testbed.NewMachine(testbed.MachineConfig{
+			Scheme: scheme, MemBytes: 256 << 20, Seed: opts.Seed, NoNIC: true,
+			Tracer: opts.Tracer,
+			Faults: opts.faultConfig(),
+		})
+		if err != nil {
+			return FioRow{}, err
+		}
+		nvme := device.NewNVMe(ma.Sim, ma.IOMMU, ma.Model, ma.Cores,
+			device.DefaultP3700(testbed.NVMeDeviceID))
+		res, err := workloads.RunFio(workloads.FioConfig{
+			Machine: ma, NVMe: nvme, BlockSize: bs,
+			Warmup: warm, Duration: dur,
+		})
+		if err != nil {
+			return FioRow{}, err
+		}
+		opts.emit(fmt.Sprintf("fig11/%s-%dB", scheme, bs), ma)
+		return FioRow{
+			Scheme: string(scheme), BlockSize: bs,
+			KIOPS: res.IOPS / 1e3, GiBps: res.GiBps, CPUUtil: res.CPUUtil,
+		}, nil
+	})
 }
 
 // RenderFig11 renders the figure as text.

@@ -41,10 +41,11 @@ func footnote5Model() *perf.Model {
 // MTU 1500, LRO off.
 func Footnote5(opts Options) ([]Footnote5Row, error) {
 	warm, dur := opts.durations()
-	var rows []Footnote5Row
-	for _, scheme := range []testbed.Scheme{
+	schemes := []testbed.Scheme{
 		testbed.SchemeOff, testbed.SchemeDeferred, testbed.SchemeStrict, testbed.SchemeDAMN,
-	} {
+	}
+	return runJobs(opts, len(schemes), func(i int, opts Options) (Footnote5Row, error) {
+		scheme := schemes[i]
 		ma, err := testbed.NewMachine(testbed.MachineConfig{
 			Scheme:   scheme,
 			Model:    footnote5Model(),
@@ -55,19 +56,18 @@ func Footnote5(opts Options) ([]Footnote5Row, error) {
 			Faults:   opts.faultConfig(),
 		})
 		if err != nil {
-			return nil, err
+			return Footnote5Row{}, err
 		}
 		res, err := workloads.RunNetperf(workloads.NetperfConfig{
 			Machine: ma, Warmup: warm, Duration: dur,
 			RXCores: []int{0}, // a single instance
 		})
 		if err != nil {
-			return nil, err
+			return Footnote5Row{}, err
 		}
 		opts.emit("footnote5/"+string(scheme), ma)
-		rows = append(rows, Footnote5Row{Scheme: string(scheme), Gbps: res.RXGbps})
-	}
-	return rows, nil
+		return Footnote5Row{Scheme: string(scheme), Gbps: res.RXGbps}, nil
+	})
 }
 
 // RenderFootnote5 renders the table as text.

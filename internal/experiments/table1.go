@@ -27,27 +27,28 @@ type Table1Row struct {
 	ZeroCopy bool
 }
 
-// Table1 probes each scheme and assembles the matrix.
+// Table1 probes each scheme and assembles the matrix; one job per scheme
+// runs both attack probes against private machines.
 func Table1(opts Options) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, scheme := range testbed.AllSchemes {
+	schemes := testbed.AllSchemes
+	return runJobs(opts, len(schemes), func(i int, opts Options) (Table1Row, error) {
+		scheme := schemes[i]
 		sub, err := probeSubpage(scheme, opts)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		nw, err := probeWindow(scheme, opts)
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			Scheme:    string(scheme),
 			Subpage:   sub,
 			NoWindow:  nw,
 			MultiGbps: scheme != testbed.SchemeStrict,
 			ZeroCopy:  scheme != testbed.SchemeShadow,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // probeSubpage maps a 256 B kmalloc buffer that shares its page with a

@@ -51,8 +51,16 @@ type event struct {
 	fn  func()
 	// cancelled events stay in the heap (removal from the middle of a
 	// binary heap is O(n)) but are skipped on pop: they neither execute,
-	// nor advance time, nor count as processed.
+	// nor advance time, nor count as processed. When more than half the
+	// heap is cancelled the engine compacts it (see compact).
 	cancelled bool
+	// queued tracks heap membership so cancel of a currently-executing
+	// ticker event (popped, not re-enqueued yet) doesn't corrupt the
+	// cancelled-entry accounting.
+	queued bool
+	// pinned events are owned by a long-lived caller (Every reuses one
+	// event for every tick); they are never returned to the free pool.
+	pinned bool
 }
 
 type eventHeap []*event
@@ -66,7 +74,14 @@ func (h eventHeap) Less(i, j int) bool {
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil // don't retain the popped event in the backing array
+	*h = old[:n-1]
+	return e
+}
 
 // Engine is the event loop. Not safe for concurrent use: all simulation
 // activity happens on the goroutine that calls Run.
@@ -75,6 +90,11 @@ type Engine struct {
 	events eventHeap
 	seq    uint64
 	rng    *rand.Rand
+
+	// free recycles popped event structs so the schedule/run hot loop
+	// allocates nothing at steady state (the pool grows to the peak number
+	// of in-flight events and no further).
+	free []*event
 
 	processed uint64
 	cancelled int // cancelled events still sitting in the heap
@@ -121,25 +141,86 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// schedule enqueues fn at absolute time t (>= now) and returns the heap
-// entry so callers that may cancel (Every) can reach it.
+// schedule enqueues fn at absolute time t (>= now), drawing the event from
+// the free pool when one is available.
 func (e *Engine) schedule(t Time, fn func()) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.fn = fn
+	e.enqueue(ev, t)
+	return ev
+}
+
+// enqueue pushes a caller-held event (fresh from the pool, or a ticker's
+// reusable pinned event that is currently out of the heap) at time t.
+func (e *Engine) enqueue(ev *event, t Time) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev.at = t
+	ev.seq = e.seq
+	ev.cancelled = false
+	ev.queued = true
 	heap.Push(&e.events, ev)
-	return ev
+}
+
+// release returns a popped event to the free pool. Pinned events stay owned
+// by their ticker; everything else drops its closure (so the pool retains no
+// callbacks) and becomes reusable.
+func (e *Engine) release(ev *event) {
+	if ev.pinned {
+		return
+	}
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // cancel neutralizes a queued event: it will be discarded on pop without
-// executing, advancing time, or counting as processed.
+// executing, advancing time, or counting as processed. Cancelling an event
+// that is not in the heap (a ticker callback cancelling itself mid-tick) is
+// a no-op — the ticker's stopped flag already prevents re-enqueueing. When
+// cancelled entries outnumber live ones the heap is compacted, so a
+// start/stop ticker storm cannot grow the heap without bound.
 func (e *Engine) cancel(ev *event) {
-	if ev != nil && !ev.cancelled {
-		ev.cancelled = true
-		e.cancelled++
+	if ev == nil || ev.cancelled || !ev.queued {
+		return
 	}
+	ev.cancelled = true
+	e.cancelled++
+	if e.cancelled >= compactMinCancelled && e.cancelled > len(e.events)/2 {
+		e.compact()
+	}
+}
+
+// compactMinCancelled keeps tiny heaps from thrashing through O(n) rebuilds.
+const compactMinCancelled = 16
+
+// compact rebuilds the heap without its cancelled entries. Pop order is
+// fully determined by (at, seq), so dropping dead entries and re-heapifying
+// leaves the execution order of live events bit-identical.
+func (e *Engine) compact() {
+	live := e.events[:0]
+	for _, ev := range e.events {
+		if ev.cancelled {
+			ev.queued = false
+			e.release(ev)
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	e.cancelled = 0
+	heap.Init(&e.events)
 }
 
 // At schedules fn to run at absolute simulated time t (>= now).
@@ -152,22 +233,25 @@ func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 // returned stop function is called. Stop cancels the ticker's pending heap
 // event, so a stopped ticker no longer shows up in Pending() and never
 // inflates Processed(). Stopping from inside fn is allowed.
+//
+// The ticker owns a single pinned event and one wrapper closure for its
+// whole lifetime: each tick re-enqueues the same struct, so steady-state
+// ticking allocates nothing.
 func (e *Engine) Every(period Time, fn func()) (stop func()) {
+	ev := &event{pinned: true}
 	stopped := false
-	var cur *event
-	var tick func()
-	tick = func() {
-		cur = nil
+	ev.fn = func() {
 		fn()
 		if !stopped {
-			cur = e.schedule(e.now+period, tick)
+			e.enqueue(ev, e.now+period)
 		}
 	}
-	cur = e.schedule(e.now+period, tick)
+	e.enqueue(ev, e.now+period)
 	return func() {
-		stopped = true
-		e.cancel(cur)
-		cur = nil
+		if !stopped {
+			stopped = true
+			e.cancel(ev)
+		}
 	}
 }
 
@@ -180,15 +264,20 @@ func (e *Engine) Run(until Time) uint64 {
 		next := e.events[0]
 		if next.cancelled {
 			heap.Pop(&e.events)
+			next.queued = false
 			e.cancelled--
+			e.release(next)
 			continue
 		}
 		if next.at > until {
 			break
 		}
 		heap.Pop(&e.events)
+		next.queued = false
 		e.now = next.at
-		next.fn()
+		fn := next.fn
+		e.release(next)
+		fn()
 		n++
 	}
 	if e.now < until {
@@ -204,12 +293,16 @@ func (e *Engine) RunUntilIdle() uint64 {
 	var n uint64
 	for len(e.events) > 0 {
 		next := heap.Pop(&e.events).(*event)
+		next.queued = false
 		if next.cancelled {
 			e.cancelled--
+			e.release(next)
 			continue
 		}
 		e.now = next.at
-		next.fn()
+		fn := next.fn
+		e.release(next)
+		fn()
 		n++
 	}
 	e.processed += n

@@ -342,6 +342,129 @@ func TestEveryStopDoesNotCancelOtherEvents(t *testing.T) {
 	}
 }
 
+func TestTickerStormHeapBounded(t *testing.T) {
+	// A start/stop ticker storm must not grow the heap without bound:
+	// cancelled entries are compacted once they outnumber live events.
+	e := NewEngine(1)
+	for i := 0; i < 10000; i++ {
+		stop := e.Every(10*Millisecond, func() {})
+		stop()
+		if len(e.events) > 2*compactMinCancelled+2 {
+			t.Fatalf("heap grew to %d entries after %d start/stop cycles", len(e.events), i+1)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after storm, want 0", e.Pending())
+	}
+	if n := e.RunUntilIdle(); n != 0 {
+		t.Fatalf("RunUntilIdle executed %d events after storm, want 0", n)
+	}
+}
+
+func TestCompactPreservesOrder(t *testing.T) {
+	// Force a compaction between scheduling and running, and check live
+	// events still execute in exact (at, seq) order.
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		// Interleave live events with immediately-stopped tickers (two per
+		// live event) so the cancelled count crosses the more-than-half
+		// compaction threshold.
+		e.At(Time(50-i)*Microsecond, func() { got = append(got, 50-i) })
+		for j := 0; j < 2; j++ {
+			stop := e.Every(Millisecond, func() {})
+			stop()
+		}
+	}
+	if e.cancelled != 0 && len(e.events) >= 150 {
+		t.Fatalf("no compaction happened: %d entries, %d cancelled", len(e.events), e.cancelled)
+	}
+	e.RunUntilIdle()
+	if len(got) != 50 {
+		t.Fatalf("ran %d events, want 50", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+1 {
+			t.Fatalf("order broken after compaction: %v", got)
+		}
+	}
+}
+
+func TestEventPoolReuseKeepsDeterminism(t *testing.T) {
+	// Heavy schedule/run churn recycles event structs through the pool;
+	// the observable schedule must stay identical to a fresh engine's.
+	run := func() []Time {
+		e := NewEngine(7)
+		var log []Time
+		var burst func()
+		rounds := 0
+		burst = func() {
+			log = append(log, e.Now())
+			for i := 0; i < 8; i++ {
+				d := Time(e.Rand().Intn(900)+1) * Nanosecond
+				e.After(d, func() { log = append(log, e.Now()) })
+			}
+			if rounds++; rounds < 40 {
+				e.After(Microsecond, burst)
+			}
+		}
+		e.After(Microsecond, burst)
+		stop := e.Every(3*Microsecond, func() { log = append(log, -e.Now()) })
+		e.Run(60 * Microsecond)
+		stop()
+		e.RunUntilIdle()
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pooled runs diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScheduleRunSteadyStateAllocs(t *testing.T) {
+	// After warmup the schedule→run→recycle cycle must not allocate: the
+	// event comes from the pool and returns to it.
+	e := NewEngine(1)
+	fn := func() {}
+	at := Time(0)
+	step := func() {
+		at += Nanosecond
+		e.At(at, fn)
+		e.Run(at)
+	}
+	step() // warm the pool
+	if avg := testing.AllocsPerRun(200, step); avg != 0 {
+		t.Fatalf("schedule/run steady state allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+func TestEverySteadyStateAllocs(t *testing.T) {
+	// A ticker reuses one pinned event and one closure for its lifetime:
+	// steady-state ticking is allocation-free.
+	e := NewEngine(1)
+	ticks := 0
+	stop := e.Every(Microsecond, func() { ticks++ })
+	defer stop()
+	at := Time(0)
+	tick := func() {
+		at += Microsecond
+		e.Run(at)
+	}
+	tick() // warm up
+	if avg := testing.AllocsPerRun(200, tick); avg != 0 {
+		t.Fatalf("ticker steady state allocates %.1f allocs/tick, want 0", avg)
+	}
+	if ticks < 200 {
+		t.Fatalf("ticker only fired %d times", ticks)
+	}
+}
+
 func TestEngineStatsCountsEvents(t *testing.T) {
 	e := NewEngine(1)
 	r := stats.NewRegistry()

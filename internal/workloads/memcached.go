@@ -70,17 +70,23 @@ func RunMemcached(cfg MemcachedConfig) (MemcachedResult, error) {
 		return MemcachedResult{}, err
 	}
 
-	instances := map[int]*memcachedInstance{}
+	// Instance order is simulation-visible (it decides the seq numbers of
+	// the initial request storm), so keep instances in a slice and use the
+	// map only for flow lookup — ranging over the map here would make runs
+	// irreproducible.
+	instances := make([]*memcachedInstance, 0, cfg.Instances)
+	byFlow := map[int]*memcachedInstance{}
 	for i := 0; i < cfg.Instances; i++ {
 		inst := &memcachedInstance{cfg: &cfg, ma: ma, core: i % len(ma.Cores), flow: i + 1}
-		instances[inst.flow] = inst
+		instances = append(instances, inst)
+		byFlow[inst.flow] = inst
 	}
 
 	// Request arrival: memslap sends a request segment; the server's RX
 	// path processes it and transmits the response; response completion
 	// triggers the next request on that slot.
 	ma.Driver.OnDeliver = func(t *sim.Task, ring int, skb *netstack.SKBuff) {
-		inst, ok := instances[skb.Flow]
+		inst, ok := byFlow[skb.Flow]
 		if !ok {
 			skb.Free(t)
 			return
