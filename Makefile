@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race race-full bench bench-go chaos ci
+.PHONY: all fmt vet staticcheck build test race race-full bench bench-go chaos recovery ci
 
 all: build
 
@@ -12,6 +12,13 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is not vendored; CI installs it with `go install`. Locally the
+# target fails with instructions rather than silently passing.
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 || { \
+		echo "staticcheck not found: go install honnef.co/go/tools/cmd/staticcheck@latest"; exit 1; }
+	staticcheck ./...
 
 build:
 	$(GO) build ./...
@@ -47,4 +54,12 @@ bench-go:
 chaos:
 	$(GO) test -race -short -timeout 10m -run Chaos ./...
 
-ci: fmt vet build race chaos
+# The device-recovery suite: the fault-domain supervisor package end to end,
+# plus the recovery workload/figure and the unmap-failure conservation
+# regression, all under the race detector.
+recovery:
+	$(GO) test -race -short -timeout 15m ./internal/recovery/...
+	$(GO) test -race -short -timeout 15m -run 'Recovery|UnmapFailure' \
+		./internal/workloads/... ./internal/experiments/...
+
+ci: fmt vet build race chaos recovery

@@ -12,6 +12,13 @@
 //     (deferred-mode TOCTTOU window).
 //  4. tocttou-header   — the device rewrites packet headers after the
 //     firewall inspected them.
+//
+// With -recovery, a fifth scenario mounts a DMA-fault storm (the device
+// hammers translations it has no mapping for) with the fault-domain
+// recovery supervisor attached: the attack is "blocked" when the supervisor
+// quarantines the device and heals the domain, and "lands" where no
+// translation means no fault records — with the IOMMU off there is nothing
+// to detect, let alone contain.
 package main
 
 import (
@@ -28,6 +35,8 @@ import (
 	"github.com/asplos18/damn/internal/iommu"
 	"github.com/asplos18/damn/internal/mem"
 	"github.com/asplos18/damn/internal/netstack"
+	"github.com/asplos18/damn/internal/recovery"
+	"github.com/asplos18/damn/internal/sim"
 	"github.com/asplos18/damn/internal/stats"
 	"github.com/asplos18/damn/internal/testbed"
 )
@@ -45,6 +54,7 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule")
 	statsOut := flag.String("stats", "", "write per-scheme metrics snapshots to this JSON file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the attacked machines")
+	recover := flag.Bool("recovery", false, "attach the fault-domain recovery supervisor and mount a DMA-fault-storm scenario")
 	flag.Parse()
 
 	var faultCfg *faults.Config
@@ -86,7 +96,7 @@ func main() {
 			defer wg.Done()
 			for i := range idx {
 				r := &results[i]
-				r.outs, r.snap, r.err = attack(testbed.AllSchemes[i], *seed, tracer, faultCfg)
+				r.outs, r.snap, r.err = attack(testbed.AllSchemes[i], *seed, tracer, faultCfg, *recover)
 			}
 		}()
 	}
@@ -152,7 +162,7 @@ func writeJSONFile(path string, write func(*json.Encoder) error) error {
 	return f.Close()
 }
 
-func attack(scheme testbed.Scheme, seed int64, tracer *stats.Tracer, faultCfg *faults.Config) ([]outcome, stats.Snapshot, error) {
+func attack(scheme testbed.Scheme, seed int64, tracer *stats.Tracer, faultCfg *faults.Config, withRecovery bool) ([]outcome, stats.Snapshot, error) {
 	ma, err := testbed.NewMachine(testbed.MachineConfig{
 		Scheme: scheme, MemBytes: 128 << 20, Seed: seed, RingSize: 8,
 		Tracer: tracer, Faults: faultCfg,
@@ -252,7 +262,44 @@ func attack(scheme testbed.Scheme, seed int64, tracer *stats.Tracer, faultCfg *f
 	}
 	outs = append(outs, outcome{"tocttou-header", tocttou,
 		"device rewrites packet headers after firewall inspection"})
+
+	// 5. Fault-storm containment (only with -recovery).
+	if withRecovery {
+		outs = append(outs, stormOutcome(ma, attacker))
+	}
 	return outs, ma.StatsSnapshot(), nil
+}
+
+// stormOutcome mounts a DMA-fault storm with the recovery supervisor
+// attached: the compromised device hammers translations it owns no mapping
+// for. The attack is contained when the supervisor quarantines the device
+// and heals the domain; with the IOMMU in passthrough there are no fault
+// records and the storm sails through unsupervised.
+func stormOutcome(ma *testbed.Machine, attacker *device.Malicious) outcome {
+	sup := recovery.Attach(ma, recovery.Config{})
+	defer sup.Stop()
+	stop := ma.Sim.Every(2*sim.Microsecond, func() {
+		attacker.TryRead(iommu.IOVA(0xfeed0000), 64)
+	})
+	deadline := ma.Sim.Now() + 20*sim.Millisecond
+	for ma.Sim.Now() < deadline && sup.State(testbed.NICDeviceID) != recovery.Quarantined {
+		ma.Sim.Run(ma.Sim.Now() + 10*sim.Microsecond)
+	}
+	stop()
+	for ma.Sim.Now() < deadline {
+		st := sup.State(testbed.NICDeviceID)
+		if st == recovery.Healthy || st == recovery.Failed {
+			break
+		}
+		ma.Sim.Run(ma.Sim.Now() + 10*sim.Microsecond)
+	}
+	if sup.Storms > 0 && sup.State(testbed.NICDeviceID) == recovery.Healthy {
+		return outcome{"fault-storm", false, fmt.Sprintf(
+			"storm detected, device quarantined and healed (MTTR %.1fµs)",
+			float64(sup.MTTR(testbed.NICDeviceID))/1e6)}
+	}
+	return outcome{"fault-storm", true,
+		"storm DMAs flowed without detection — no fault records, no containment"}
 }
 
 // headerTocttou reports whether the device manages to change the OS's view

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	damnbench [-quick] [-parallel N] [-seed N]
-//	          [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|chaos]
-//	          [-faults P] [-fault-seed N] [-stats out.json] [-trace out.trace]
+//	          [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|chaos|recovery]
+//	          [-recovery] [-faults P] [-fault-seed N] [-stats out.json] [-trace out.trace]
 //
 // The default full-fidelity run takes a few minutes; -quick shrinks the
 // measurement windows for a fast smoke pass. -parallel N fans each figure's
@@ -25,6 +25,12 @@
 // fires with per-visit probability P on the schedule rooted at -fault-seed.
 // -exp chaos runs the dedicated chaos harness and prints the injected-fault
 // and recovery evidence.
+//
+// -recovery (or -exp recovery) adds the fault-domain recovery figure: per
+// scheme, a DMA-fault storm quarantines the NIC and the recovery supervisor
+// heals it; the row reports the throughput dip, detection latency and MTTR.
+// With -exp chaos, -recovery also attaches the supervisor to the chaos
+// machines, so chaos storms are contained instead of ridden out.
 package main
 
 import (
@@ -46,13 +52,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	faultRate := flag.Float64("faults", 0, "per-visit fault-injection probability for every fault kind (0 = off); see internal/faults")
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule (used with -faults or -exp chaos)")
-	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5, chaos")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5, chaos, recovery")
+	recover := flag.Bool("recovery", false, "fault-domain recovery: add the recovery figure to the run, and attach the device-recovery supervisor to chaos machines")
 	statsOut := flag.String("stats", "", "write per-figure metrics snapshots to this JSON file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every simulated machine")
 	flag.Parse()
 
 	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel,
-		FaultRate: *faultRate, FaultSeed: *faultSeed}
+		FaultRate: *faultRate, FaultSeed: *faultSeed, Recovery: *recover}
 	var snaps map[string]stats.Snapshot
 	if *statsOut != "" {
 		snaps = map[string]stats.Snapshot{}
@@ -64,6 +71,9 @@ func main() {
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(e)] = true
+	}
+	if *recover {
+		want["recovery"] = true
 	}
 	all := want["all"]
 

@@ -25,6 +25,12 @@ type chunk struct {
 	// huge marks chunks carved from a 2 MiB huge-mapped superblock
 	// (DenseHugeIOVA variant); they are never unmapped individually.
 	huge bool
+	// gen is the device generation the chunk was created under. A device
+	// reset bumps the generation (ReleaseDevice); a chunk from an older
+	// generation is "dead" — its IOMMU mapping died with the old domain —
+	// and must be torn down on its last free instead of re-entering
+	// circulation, where a rebuilt domain would know nothing of its IOVA.
+	gen uint64
 }
 
 // dmaCache is one DMA cache: the per-core top level (two bump allocators ×
@@ -196,6 +202,14 @@ func (c *dmaCache) putChunk(x Ctx, ch *chunk) {
 // deallocation"). The chunk's identity (and thus IOVA) is unchanged — it
 // stays mapped, ready for reuse.
 func (c *dmaCache) recycle(x Ctx, ch *chunk) {
+	if c.d.chunkIsDead(ch) {
+		// The chunk belongs to a generation whose domain a device reset
+		// destroyed: its mapping is gone and the reset's domain-wide
+		// invalidation retired any stale IOTLB entries. Tear it down
+		// without touching the IOMMU.
+		c.d.releaseDeadChunk(x, c, ch)
+		return
+	}
 	if c.d.cfg.NoDMACache && !ch.huge {
 		// Ablation: tear the chunk down on every free — unmap, wait
 		// for the invalidation, release the pages. This is the cost
@@ -308,6 +322,7 @@ func (d *DAMN) registerChunk(ch *chunk) {
 		idx = len(d.registry) - 1
 	}
 	ch.regIdx = idx + 1
+	ch.gen = d.devGen[ch.cache.key.dev]
 	tail1 := d.mem.PageOf(ch.head.PFN() + 1)
 	tail1.Private = uint64(ch.iova)
 	tail2 := d.mem.PageOf(ch.head.PFN() + 2)

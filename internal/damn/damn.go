@@ -125,6 +125,11 @@ type DAMN struct {
 	// dense is the single dense IOVA bump used in DenseHugeIOVA mode.
 	denseNext uint64
 
+	// devGen counts device resets: chunks record the generation they were
+	// created under, and a chunk whose generation is stale is dead — its
+	// mapping died with the old domain (see ReleaseDevice).
+	devGen map[int]uint64
+
 	// Stats for Fig 10 / EXPERIMENTS.md.
 	ChunksCreated  uint64
 	ChunksReleased uint64

@@ -85,6 +85,13 @@ func (d *DAMN) Shrink(x Ctx) int64 {
 // NoDMACache ablation pays on every free. Reclaim is not free; it only
 // happens off the fast path.
 func (d *DAMN) releaseChunk(x Ctx, c *dmaCache, ch *chunk) int64 {
+	if !d.iommu.Attached(c.key.dev) {
+		// The domain is already gone (device quarantined or removed):
+		// there is nothing to unmap or invalidate — the teardown and the
+		// domain-wide invalidation happen in the recovery path. Reclaim
+		// the pages and metadata only.
+		return d.releaseDeadChunk(x, c, ch)
+	}
 	// Revoke device access *before* the pages go back to the kernel.
 	if err := d.iommu.Unmap(c.key.dev, ch.iova, d.ChunkBytes()); err != nil {
 		panic("damn: shrinker unmap failed: " + err.Error())
@@ -107,4 +114,124 @@ func (d *DAMN) releaseChunk(x Ctx, c *dmaCache, ch *chunk) int64 {
 	order := log2(d.cfg.ChunkPages)
 	d.mem.FreePages(ch.head, order)
 	return int64(d.cfg.ChunkPages)
+}
+
+// chunkIsDead reports whether the chunk predates the device's current
+// generation: its mapping died with a destroyed domain.
+func (d *DAMN) chunkIsDead(ch *chunk) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return ch.gen != d.devGen[ch.cache.key.dev]
+}
+
+// releaseDeadChunk reclaims a chunk whose domain no longer exists: no unmap
+// and no invalidation (the recovery path's domain teardown and InvDomain
+// already revoked device access wholesale), just the IOVA slot, registry
+// metadata and pages. Unlike releaseChunk this also handles huge chunks —
+// the shared 2 MiB mapping died with the domain, so the usual "cannot unmap
+// a shared mapping" constraint is moot.
+func (d *DAMN) releaseDeadChunk(x Ctx, c *dmaCache, ch *chunk) int64 {
+	perf.ChargeCat(x.C, d.teardownCyc, d.model.DamnFreeCycles)
+	if e, ok := iova.Decode(ch.iova); ok && !ch.huge {
+		d.mu.Lock()
+		if r := d.regions[identKey{cpu: e.CPU, rights: e.Rights, dev: e.Dev}]; r != nil {
+			r.release(e.Offset)
+		}
+		d.mu.Unlock()
+	}
+	d.unregisterChunk(ch)
+	d.mem.FreePages(ch.head, log2(d.cfg.ChunkPages))
+	return int64(d.cfg.ChunkPages)
+}
+
+// ReleaseDevice reclaims every cached resource the allocator holds for one
+// device after its domain was destroyed (quarantine, function-level reset,
+// surprise removal). It must run *after* iommu.DetachDevice and after a
+// domain-wide invalidation has drained, because nothing here touches the
+// IOMMU.
+//
+// The device generation is bumped first, so chunks still pinned by in-flight
+// buffers are torn down lazily by their last free (recycle's dead-chunk
+// check) instead of re-entering magazines, and chunks created after a
+// re-attach start a fresh generation. Then the per-core bump allocators
+// retire their carving references, and the magazines, depot and superblock
+// spares drain straight to the page allocator.
+//
+// Returns the pages released now and the chunks still pinned by live
+// buffers (they conserve through the lazy path; damn.Audit stays exact
+// throughout).
+func (d *DAMN) ReleaseDevice(x Ctx, dev int) (releasedPages int64, pinnedChunks int) {
+	d.mu.Lock()
+	if d.devGen == nil {
+		d.devGen = make(map[int]uint64)
+	}
+	d.devGen[dev]++
+	keys := make([]cacheKey, 0, len(d.caches))
+	for k := range d.caches {
+		if k.dev == dev {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.rights != b.rights {
+			return a.rights < b.rights
+		}
+		return a.node < b.node
+	})
+	caches := make([]*dmaCache, 0, len(keys))
+	for _, k := range keys {
+		caches = append(caches, d.caches[k])
+	}
+	d.mu.Unlock()
+
+	for _, c := range caches {
+		// Retire the bump allocators' carving references. A chunk with no
+		// outstanding buffers recycles immediately — and, being from a
+		// stale generation now, tears down on the spot; one with live
+		// buffers stays out until its last free.
+		for cpu := range c.perCPU {
+			for ctx := 0; ctx < 2; ctx++ {
+				cc := c.perCPU[cpu][ctx]
+				for _, b := range []*bumpAlloc{&cc.bump, &cc.bumpPages} {
+					if b.ch != nil {
+						ch := b.ch
+						b.ch = nil
+						b.offset = 0
+						d.putChunkRef(x, ch)
+					}
+				}
+			}
+		}
+		var victims []*chunk
+		victims = append(victims, c.depot.drainFull()...)
+		for cpu := range c.perCPU {
+			for ctx := 0; ctx < 2; ctx++ {
+				cc := c.perCPU[cpu][ctx]
+				for _, m := range []*magazine{cc.loaded, cc.previous} {
+					if m == nil {
+						continue
+					}
+					victims = append(victims, m.chunks...)
+					m.chunks = m.chunks[:0]
+				}
+			}
+		}
+		d.mu.Lock()
+		victims = append(victims, c.depotSpare...)
+		c.depotSpare = nil
+		d.mu.Unlock()
+		for _, ch := range victims {
+			releasedPages += d.releaseDeadChunk(x, c, ch)
+		}
+	}
+
+	d.mu.Lock()
+	for _, ch := range d.registry {
+		if ch != nil && ch.cache.key.dev == dev {
+			pinnedChunks++
+		}
+	}
+	d.mu.Unlock()
+	return releasedPages, pinnedChunks
 }

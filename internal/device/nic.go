@@ -103,23 +103,33 @@ type NIC struct {
 	rxHandler func(t *sim.Task, ring int, comps []RXCompletion)
 	txHandler func(t *sim.Task, ring int, descs []TXDesc)
 
+	// quarantined fences the device off the host: ingress is dropped at
+	// the wire, posting descriptors fails, no DMA is initiated. The
+	// recovery supervisor sets it while a fault domain is being torn down
+	// and rebuilt. removed additionally marks surprise hot-removal — the
+	// device cannot be resumed, only replaced.
+	quarantined bool
+	removed     bool
+
 	// Stats.
-	RxSegments uint64
-	RxBytes    uint64
-	TxSegments uint64
-	TxBytes    uint64
-	RxBlocked  uint64 // segments whose DMA faulted
-	RxStalls   uint64 // segments parked because the ring was empty
+	RxSegments        uint64
+	RxBytes           uint64
+	TxSegments        uint64
+	TxBytes           uint64
+	RxBlocked         uint64 // segments whose DMA faulted
+	RxStalls          uint64 // segments parked because the ring was empty
+	RxQuarantineDrops uint64 // segments dropped at a quarantined device
 
 	// Observability (nil-safe handles; see SetStats).
-	rxSegC  *stats.Counter
-	rxByteC *stats.Counter
-	txSegC  *stats.Counter
-	txByteC *stats.Counter
-	faultC  *stats.Counter
-	stallC  *stats.Counter
-	rxSizeH *stats.Histogram
-	txSizeH *stats.Histogram
+	rxSegC    *stats.Counter
+	rxByteC   *stats.Counter
+	txSegC    *stats.Counter
+	txByteC   *stats.Counter
+	faultC    *stats.Counter
+	stallC    *stats.Counter
+	quarDropC *stats.Counter
+	rxSizeH   *stats.Histogram
+	txSizeH   *stats.Histogram
 }
 
 // SetStats attaches a metrics registry mirroring the NIC's traffic and DMA
@@ -131,6 +141,7 @@ func (n *NIC) SetStats(r *stats.Registry) {
 	n.txByteC = r.Counter("device", "nic_tx_bytes")
 	n.faultC = r.Counter("device", "nic_dma_faults")
 	n.stallC = r.Counter("device", "nic_rx_stalls")
+	n.quarDropC = r.Counter("device", "nic_quarantine_drops")
 	n.rxSizeH = r.Histogram("device", "nic_rx_segment_bytes")
 	n.txSizeH = r.Histogram("device", "nic_tx_segment_bytes")
 }
@@ -199,9 +210,66 @@ func (n *NIC) OnRX(h func(t *sim.Task, ring int, comps []RXCompletion)) { n.rxHa
 // OnTXComplete registers the driver's transmit-completion handler.
 func (n *NIC) OnTXComplete(h func(t *sim.Task, ring int, descs []TXDesc)) { n.txHandler = h }
 
+// Quarantined reports whether the device is fenced off the host.
+func (n *NIC) Quarantined() bool { return n.quarantined }
+
+// Removed reports whether the device was surprise-removed.
+func (n *NIC) Removed() bool { return n.removed }
+
+// Quarantine fences the device: from now on ingress segments are dropped at
+// the wire, descriptor posting fails and the device initiates no DMA. It
+// empties every RX ring and returns the descriptors that were posted or
+// sitting in interrupt-lost completions, so the driver can unmap and
+// reclaim their buffers; flow-control-parked segments are simply dropped
+// (lossless flow control ends where the fault domain does) and their count
+// returned. Idempotent — a second call returns nothing new.
+func (n *NIC) Quarantine() (reclaim []RXDesc, parkedDropped int) {
+	n.quarantined = true
+	for _, r := range n.rings {
+		reclaim = append(reclaim, r.descs...)
+		r.descs = nil
+		for _, m := range r.missed {
+			reclaim = append(reclaim, m.comp.Desc)
+		}
+		r.missed = nil
+		parkedDropped += len(r.pending)
+		r.pending = nil
+	}
+	if parkedDropped > 0 {
+		n.RxQuarantineDrops += uint64(parkedDropped)
+		n.quarDropC.Add(uint64(parkedDropped))
+	}
+	return reclaim, parkedDropped
+}
+
+// Resume lifts a quarantine after the host has rebuilt the device's state
+// (domain re-attached, rings about to be refilled). A removed device cannot
+// resume — it is no longer there.
+func (n *NIC) Resume() error {
+	if n.removed {
+		return fmt.Errorf("device: nic %d was removed; cannot resume", n.Cfg.ID)
+	}
+	n.quarantined = false
+	return nil
+}
+
+// Remove models surprise hot-removal: quarantine semantics with no way
+// back. Returns the same reclaim list as Quarantine.
+func (n *NIC) Remove() (reclaim []RXDesc, parkedDropped int) {
+	n.removed = true
+	return n.Quarantine()
+}
+
+// Reinsert models hotplugging a replacement device into the slot; the
+// device stays quarantined until Resume.
+func (n *NIC) Reinsert() { n.removed = false }
+
 // PostRX adds receive buffers to a ring (driver side). Parked segments are
 // delivered immediately if buffers were the bottleneck.
 func (n *NIC) PostRX(ring int, descs ...RXDesc) error {
+	if n.quarantined {
+		return fmt.Errorf("device: nic %d quarantined; RX post rejected", n.Cfg.ID)
+	}
 	r := n.rings[ring]
 	if len(r.descs)+len(descs) > n.Cfg.RingSize {
 		return fmt.Errorf("device: RX ring %d overflow", ring)
@@ -235,6 +303,17 @@ func (n *NIC) WireTXBacklog(port int) sim.Time { return n.txWire[port].Backlog(n
 // takes an interrupt. With fault injection on, the segment first passes
 // the netem-style link impairments: drop, corrupt, duplicate, reorder.
 func (n *NIC) InjectRX(port, ring int, seg Segment) {
+	if n.quarantined {
+		// A fenced (or absent) device terminates the link: the segment
+		// still occupies the wire (the remote sender cannot know), then
+		// dies at the fence — consuming no host resources and drawing no
+		// fault-injection decisions. Charging wire time keeps the link
+		// paced; otherwise a generator polling the backlog would spin.
+		n.rxWire[port].Reserve(n.se.Now(), float64(seg.Len))
+		n.RxQuarantineDrops++
+		n.quarDropC.Inc()
+		return
+	}
 	if n.inj.Should(faults.LinkDrop) {
 		// Lost on the wire: consumes no host resources, leaves no trace
 		// but the injection counter — the stack sees a silent gap.
@@ -258,6 +337,13 @@ func (n *NIC) InjectRX(port, ring int, seg Segment) {
 }
 
 func (n *NIC) tryDeliver(ring int, seg Segment) {
+	if n.quarantined {
+		// In-flight wire time elapsed before the quarantine hit: the
+		// segment dies at the fence instead of parking forever.
+		n.RxQuarantineDrops++
+		n.quarDropC.Inc()
+		return
+	}
 	r := n.rings[ring]
 	if len(r.descs) == 0 {
 		// Lossless flow control (§6.1: "Ethernet flow control on"):
@@ -393,6 +479,9 @@ func (n *NIC) dmaWriteSegment(desc RXDesc, seg Segment) (int, error) {
 // NIC fetches the payload by DMA, puts it on the wire of the given port,
 // and completes back to the driver.
 func (n *NIC) PostTX(ring, port int, desc TXDesc) error {
+	if n.quarantined {
+		return fmt.Errorf("device: nic %d quarantined; TX post rejected", n.Cfg.ID)
+	}
 	q := n.txqs[ring]
 	if q.inFlight >= n.Cfg.TxRing {
 		return fmt.Errorf("device: TX ring %d full", ring)

@@ -189,6 +189,14 @@ func (e *Engine) Map(c perf.Charger, dev int, pa mem.PhysAddr, size int, dir Dir
 // from Map once the device is done with the buffer.
 func (e *Engine) Unmap(c perf.Charger, dev int, v iommu.IOVA, size int, dir Direction) error {
 	e.UnmapCalls++
+	// An injected unmap failure models dma_unmap detecting inconsistent
+	// mapping state (e.g. a function-level reset tore the domain down under
+	// the driver). It fires before the interposer so DAMN buffers hit the
+	// same driver error path — for them the failure is spurious, which is
+	// exactly what the driver's release-not-leak handling relies on.
+	if e.inj.Should(faults.UnmapFail) {
+		return fmt.Errorf("dmaapi: unmap failed (injected) iova=%#x dev=%d", v, dev)
+	}
 	if ip := e.interposer; ip != nil {
 		if ip.UnmapHook(c, dev, v, size, dir) {
 			e.ipUnmapC.Inc()
@@ -197,6 +205,24 @@ func (e *Engine) Unmap(c perf.Charger, dev int, v iommu.IOVA, size int, dir Dire
 	}
 	e.unmapC.Inc()
 	return e.scheme.Unmap(c, dev, v, size, dir)
+}
+
+// DeviceResetter is implemented by schemes that hold per-device state a
+// function-level reset must retire (deferred's batched invalidations, whose
+// IOVA ranges only recycle at flush time).
+type DeviceResetter interface {
+	ResetDevice(c perf.Charger, dev int)
+}
+
+// ResetDevice retires scheme state referencing the device's (dying) domain.
+// The recovery supervisor calls it during quarantine, before the domain is
+// detached, so that batched unmaps flush while their invalidations can
+// still be attributed and IOVA allocator slots come back for the rebuilt
+// device.
+func (e *Engine) ResetDevice(c perf.Charger, dev int) {
+	if r, ok := e.scheme.(DeviceResetter); ok {
+		r.ResetDevice(c, dev)
+	}
 }
 
 // recordExposure marks the frames of [pa, pa+size) as having held DMA data.

@@ -248,6 +248,14 @@ func (s *DeferredScheme) Flush(c perf.Charger) {
 	s.flushLocked(c)
 }
 
+// ResetDevice implements dmaapi.DeviceResetter: a device reset flushes the
+// whole batch window now. The window may hold entries for other devices
+// too; flushing them early is always safe (it only narrows their
+// vulnerability window) and keeps the batch bookkeeping simple.
+func (s *DeferredScheme) ResetDevice(c perf.Charger, dev int) {
+	s.Flush(c)
+}
+
 // PendingInvalidations reports the current window size: unmapped buffers
 // the device can still reach.
 func (s *DeferredScheme) PendingInvalidations() int {

@@ -115,6 +115,13 @@ func Catalog() []Figure {
 			}
 			return RenderChaos(rows), nil
 		}},
+		{"recovery", false, func(o Options) (string, error) {
+			rows, err := RecoveryFigure(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderRecovery(rows), nil
+		}},
 	}
 }
 

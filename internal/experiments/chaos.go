@@ -23,6 +23,9 @@ type ChaosRow struct {
 	// Recovered evidence: fault records read, ITE retries, live chunks.
 	FaultRecords uint64
 	ITETimeouts  uint64
+	// Recovery is the fault-domain supervisor's verdict: "off" when it was
+	// not attached, else the NIC's final state plus intervention counts.
+	Recovery string
 }
 
 // Chaos runs the chaos harness: netperf and memcached under a uniform
@@ -34,7 +37,7 @@ func Chaos(opts Options) ([]ChaosRow, error) {
 	if rate <= 0 {
 		rate = 0.002
 	}
-	cfg := workloads.ChaosConfig{FaultSeed: opts.FaultSeed, FaultRate: rate}
+	cfg := workloads.ChaosConfig{FaultSeed: opts.FaultSeed, FaultRate: rate, Recovery: opts.Recovery}
 
 	// Two independent jobs: each chaos workload builds its own machine.
 	runs := []func(opts Options) (ChaosRow, error){
@@ -52,6 +55,7 @@ func Chaos(opts Options) ([]ChaosRow, error) {
 				Injected: np.InjectedTotal, Counts: formatRes(&np),
 				Digest:       np.ScheduleDigest,
 				FaultRecords: np.FaultRecords, ITETimeouts: np.ITETimeouts,
+				Recovery: formatRecovery(&np),
 			}, nil
 		},
 		func(opts Options) (ChaosRow, error) {
@@ -68,6 +72,7 @@ func Chaos(opts Options) ([]ChaosRow, error) {
 				Injected: mc.InjectedTotal, Counts: formatRes(&mc.ChaosResult),
 				Digest:       mc.ScheduleDigest,
 				FaultRecords: mc.FaultRecords, ITETimeouts: mc.ITETimeouts,
+				Recovery: formatRecovery(&mc.ChaosResult),
 			}, nil
 		},
 	}
@@ -90,9 +95,17 @@ func formatRes(r *workloads.ChaosResult) string {
 	return fmt.Sprintf("%d kinds, most %s=%d", len(r.Injected), top, best)
 }
 
+// formatRecovery summarises the supervisor's involvement in one chaos run.
+func formatRecovery(r *workloads.ChaosResult) string {
+	if r.RecoveryFinal == "" || r.RecoveryFinal == "off" {
+		return "off"
+	}
+	return fmt.Sprintf("%s (%d storms, %d resets)", r.RecoveryFinal, r.RecoveryStorms, r.RecoveryResets)
+}
+
 // RenderChaos formats the chaos summary.
 func RenderChaos(rows []ChaosRow) string {
-	header := []string{"workload", "scheme", "result", "faults injected", "fault records", "ITE retries", "schedule digest"}
+	header := []string{"workload", "scheme", "result", "faults injected", "fault records", "ITE retries", "recovery", "schedule digest"}
 	var cells [][]string
 	for _, r := range rows {
 		cells = append(cells, []string{
@@ -101,6 +114,7 @@ func RenderChaos(rows []ChaosRow) string {
 			fmt.Sprintf("%d (%s)", r.Injected, r.Counts),
 			fmt.Sprintf("%d", r.FaultRecords),
 			fmt.Sprintf("%d", r.ITETimeouts),
+			r.Recovery,
 			fmt.Sprintf("%#x", r.Digest),
 		})
 	}

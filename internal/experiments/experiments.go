@@ -40,6 +40,11 @@ type Options struct {
 	// workload and the faults can be varied separately).
 	FaultSeed int64
 
+	// Recovery attaches the fault-domain supervisor to the chaos harness's
+	// machines, so chaos storms get quarantined and healed; cmd/damnbench
+	// also uses it to add the recovery figure to a run.
+	Recovery bool
+
 	// OnStats, when non-nil, receives each machine's metrics snapshot after
 	// its run, labelled "<figure>/<scheme>" (plus a direction or parameter
 	// suffix where one figure runs several configurations per scheme).

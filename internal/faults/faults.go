@@ -57,6 +57,12 @@ const (
 	// ComplLoss loses an RX completion interrupt entirely; the driver's
 	// NAPI-style watchdog poll recovers the completion later.
 	ComplLoss
+	// UnmapFail makes a dma_unmap report failure (inconsistent mapping
+	// state, e.g. after a function-level reset tore the domain down under
+	// the driver). The driver must quarantine the buffer — except DAMN
+	// buffers, whose chunk-owned mapping is independent of the per-DMA
+	// unmap and which can therefore be released safely.
+	UnmapFail
 
 	numKinds
 )
@@ -64,7 +70,7 @@ const (
 // Kinds lists every fault kind, in order.
 var Kinds = []Kind{
 	LinkDrop, LinkCorrupt, LinkDuplicate, LinkReorder, DMAFault,
-	InvTimeout, IOVAExhaust, AllocFail, ComplDelay, ComplLoss,
+	InvTimeout, IOVAExhaust, AllocFail, ComplDelay, ComplLoss, UnmapFail,
 }
 
 func (k Kind) String() string {
@@ -89,6 +95,8 @@ func (k Kind) String() string {
 		return "compl_delay"
 	case ComplLoss:
 		return "compl_loss"
+	case UnmapFail:
+		return "unmap_fail"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -155,6 +163,27 @@ func (inj *Injector) SetStats(r *stats.Registry) {
 		inj.injectedC[k] = r.Counter("faults", "injected_"+k.String())
 		inj.recoveryH[k] = r.Histogram("faults", "recovery_ps_"+k.String())
 	}
+}
+
+// SetRate changes kind k's per-visit injection probability mid-run. The
+// recovery figure uses this to schedule a deterministic fault *storm*: an
+// event at a fixed simulated time raises the DMA-fault rate, a later event
+// drops it back. Because each kind owns its stream and zero-rate kinds draw
+// nothing, a scheduled rate change is exactly as deterministic as the
+// schedule of the events that perform it.
+func (inj *Injector) SetRate(k Kind, rate float64) {
+	if inj == nil {
+		return
+	}
+	inj.rates[k] = rate
+}
+
+// Rate reports kind k's current per-visit injection probability.
+func (inj *Injector) Rate(k Kind) float64 {
+	if inj == nil {
+		return 0
+	}
+	return inj.rates[k]
 }
 
 // Should reports whether fault kind k fires at this fault-point visit.

@@ -5,6 +5,7 @@ import (
 
 	"github.com/asplos18/damn/internal/faults"
 	"github.com/asplos18/damn/internal/mem"
+	"github.com/asplos18/damn/internal/stats"
 )
 
 // Translate resolves one IOVA to a physical address on behalf of a device
@@ -24,10 +25,33 @@ func (u *IOMMU) Translate(dev int, iova IOVA, write bool) (mem.PhysAddr, error) 
 func (u *IOMMU) faultLocked(dev int, iova IOVA, want Perm, write, injected bool) Fault {
 	u.BlockedDMAs++
 	u.blockedC.Inc()
+	if u.blockedBy == nil {
+		u.blockedBy = make(map[int]uint64)
+	}
+	u.blockedBy[dev]++
+	if u.reg != nil {
+		if u.blockedDevC == nil {
+			u.blockedDevC = make(map[int]*stats.Counter)
+		}
+		c, ok := u.blockedDevC[dev]
+		if !ok {
+			c = u.reg.Counter("iommu", fmt.Sprintf("blocked_dmas_dev%d", dev))
+			u.blockedDevC[dev] = c
+		}
+		c.Inc()
+	}
 	f := Fault{Dev: dev, Addr: iova, Wanted: want, Write: write}
 	u.faults = append(u.faults, f)
 	u.fq.push(FaultRecord{Fault: f, Injected: injected})
 	return f
+}
+
+// BlockedDMAsFor reports how many DMAs from one source device the IOMMU has
+// blocked — the per-fault-domain flavour of BlockedDMAs.
+func (u *IOMMU) BlockedDMAsFor(dev int) uint64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.blockedBy[dev]
 }
 
 func (u *IOMMU) translateLocked(dev int, iova IOVA, write bool) (mem.PhysAddr, error) {

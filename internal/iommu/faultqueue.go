@@ -1,6 +1,8 @@
 package iommu
 
 import (
+	"fmt"
+
 	"github.com/asplos18/damn/internal/stats"
 )
 
@@ -36,13 +38,40 @@ type FaultQueue struct {
 	Recorded  uint64 // records successfully deposited
 	Overflows uint64 // records lost to a full ring
 
-	recordC   *stats.Counter
-	overflowC *stats.Counter
+	// Per-source-device attribution: the supervisor needs to pin a fault
+	// storm on one fault domain, and a full ring must still say *whose*
+	// records it is losing (the source-id field of a VT-d fault record).
+	recordedBy  map[int]uint64
+	overflowsBy map[int]uint64
+
+	recordC    *stats.Counter
+	overflowC  *stats.Counter
+	reg        *stats.Registry
+	recordDevC map[int]*stats.Counter
+	overDevC   map[int]*stats.Counter
 }
 
 func (fq *FaultQueue) setStats(r *stats.Registry) {
+	fq.reg = r
 	fq.recordC = r.Counter("iommu", "fault_records")
 	fq.overflowC = r.Counter("iommu", "fault_overflows")
+}
+
+// devCounter lazily creates the per-device flavour of a fault counter the
+// first time device dev faults. Caller holds the IOMMU mutex.
+func (fq *FaultQueue) devCounter(cache *map[int]*stats.Counter, name string, dev int) *stats.Counter {
+	if fq.reg == nil {
+		return nil // nil-safe handle: stats not attached
+	}
+	if *cache == nil {
+		*cache = make(map[int]*stats.Counter)
+	}
+	c, ok := (*cache)[dev]
+	if !ok {
+		c = fq.reg.Counter("iommu", fmt.Sprintf("%s_dev%d", name, dev))
+		(*cache)[dev] = c
+	}
+	return c
 }
 
 // push deposits a record, dropping it (and counting the overflow) when the
@@ -51,6 +80,11 @@ func (fq *FaultQueue) push(rec FaultRecord) {
 	if fq.count == FaultRecordDepth {
 		fq.Overflows++
 		fq.overflowC.Inc()
+		if fq.overflowsBy == nil {
+			fq.overflowsBy = make(map[int]uint64)
+		}
+		fq.overflowsBy[rec.Dev]++
+		fq.devCounter(&fq.overDevC, "fault_overflows", rec.Dev).Inc()
 		return
 	}
 	fq.buf[fq.tail] = rec
@@ -58,6 +92,11 @@ func (fq *FaultQueue) push(rec FaultRecord) {
 	fq.count++
 	fq.Recorded++
 	fq.recordC.Inc()
+	if fq.recordedBy == nil {
+		fq.recordedBy = make(map[int]uint64)
+	}
+	fq.recordedBy[rec.Dev]++
+	fq.devCounter(&fq.recordDevC, "fault_records", rec.Dev).Inc()
 }
 
 // Pending reports deposited, not-yet-read records.
@@ -99,4 +138,13 @@ func (u *IOMMU) FaultQueueStats() (recorded, overflowed uint64) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	return u.fq.Recorded, u.fq.Overflows
+}
+
+// DeviceFaultStats reports (recorded, overflowed) fault-record counts
+// attributed to one source device. This is what lets the supervisor and the
+// stats snapshot pin a storm on a fault domain instead of the machine.
+func (u *IOMMU) DeviceFaultStats(dev int) (recorded, overflowed uint64) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.fq.recordedBy[dev], u.fq.overflowsBy[dev]
 }

@@ -134,3 +134,71 @@ func TestInjectedDMAFaultRecords(t *testing.T) {
 		t.Fatalf("new fault not recorded: %d pending", u.PendingFaultRecords())
 	}
 }
+
+// TestPerDeviceFaultAttribution: the fault ring's per-source-device
+// counters must attribute records (and overflow losses) to the right fault
+// domain, and DetachDevice must make subsequent DMA fault naturally.
+func TestPerDeviceFaultAttribution(t *testing.T) {
+	u, m := newTestIOMMU(t)
+	reg := stats.NewRegistry()
+	u.SetStats(reg)
+	u.AttachDevice(1)
+	u.AttachDevice(2)
+	pa := allocPA(t, m, 0)
+	if err := u.Map(1, 0x1000, pa, mem.PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+
+	// Device 2 faults on an address it never mapped; device 1 stays clean.
+	for i := 0; i < 5; i++ {
+		if _, err := u.Translate(2, 0x9000, false); err == nil {
+			t.Fatal("expected fault for unmapped iova")
+		}
+	}
+	if n := u.BlockedDMAsFor(2); n != 5 {
+		t.Fatalf("device 2 blocked DMAs = %d, want 5", n)
+	}
+	if n := u.BlockedDMAsFor(1); n != 0 {
+		t.Fatalf("device 1 blocked DMAs = %d, want 0", n)
+	}
+	rec2, over2 := u.DeviceFaultStats(2)
+	if rec2 != 5 || over2 != 0 {
+		t.Fatalf("device 2 fault stats = (%d,%d), want (5,0)", rec2, over2)
+	}
+	if rec1, _ := u.DeviceFaultStats(1); rec1 != 0 {
+		t.Fatalf("device 1 recorded %d faults, want 0", rec1)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("iommu/fault_records_dev2"); got != 5 {
+		t.Fatalf("registry fault_records_dev2 = %d, want 5", got)
+	}
+
+	// Overflow the ring from device 2: losses must stay attributed.
+	for i := 0; i < FaultRecordDepth+7; i++ {
+		u.Translate(2, 0x9000, false)
+	}
+	_, over2 = u.DeviceFaultStats(2)
+	// 5 records were already queued, so the ring had Depth-5 free slots.
+	wantOver := uint64(7 + 5)
+	if over2 != wantOver {
+		t.Fatalf("device 2 overflows = %d, want %d", over2, wantOver)
+	}
+	if _, over1 := u.DeviceFaultStats(1); over1 != 0 {
+		t.Fatalf("device 1 charged %d overflows", over1)
+	}
+
+	// Detach: device 1's formerly valid DMA now faults naturally and is
+	// attributed to it.
+	if pages, ok := u.DetachDevice(1); !ok || pages != 1 {
+		t.Fatalf("DetachDevice = (%d,%v)", pages, ok)
+	}
+	if u.Attached(1) {
+		t.Fatal("device 1 still attached")
+	}
+	if _, err := u.Translate(1, 0x1000, false); err == nil {
+		t.Fatal("detached device translated successfully")
+	}
+	if n := u.BlockedDMAsFor(1); n != 1 {
+		t.Fatalf("device 1 blocked DMAs after detach = %d, want 1", n)
+	}
+}

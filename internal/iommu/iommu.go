@@ -111,12 +111,20 @@ type IOMMU struct {
 	Unmappings   uint64 // unmap operations
 	Translations uint64 // DMA page translations attempted
 	BlockedDMAs  uint64
+	Detaches     uint64 // domains torn down (quarantine / surprise removal)
+
+	// blockedBy attributes blocked DMAs to their source device, so a fault
+	// storm is attributable to one fault domain.
+	blockedBy map[int]uint64
 
 	// Observability (nil-safe handles; see SetStats).
-	mapC     *stats.Counter
-	unmapC   *stats.Counter
-	transC   *stats.Counter
-	blockedC *stats.Counter
+	reg         *stats.Registry
+	mapC        *stats.Counter
+	unmapC      *stats.Counter
+	transC      *stats.Counter
+	blockedC    *stats.Counter
+	detachC     *stats.Counter
+	blockedDevC map[int]*stats.Counter
 }
 
 // SetStats attaches a metrics registry to the IOMMU and its IOTLB and
@@ -125,10 +133,12 @@ type IOMMU struct {
 func (u *IOMMU) SetStats(r *stats.Registry) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
+	u.reg = r
 	u.mapC = r.Counter("iommu", "mappings")
 	u.unmapC = r.Counter("iommu", "unmappings")
 	u.transC = r.Counter("iommu", "translations")
 	u.blockedC = r.Counter("iommu", "blocked_dmas")
+	u.detachC = r.Counter("iommu", "domain_detaches")
 	u.fq.setStats(r)
 	u.tlb.SetStats(r)
 	u.invq.SetStats(r)
@@ -173,6 +183,37 @@ func (u *IOMMU) AttachDevice(dev int) *Domain {
 		u.domains[dev] = d
 	}
 	return d
+}
+
+// DetachDevice tears down the device's domain: its page tables are dropped
+// wholesale and every in-flight DMA from the device faults from this moment
+// on (translateLocked treats a missing domain as a blocked DMA). This is the
+// quarantine primitive — the VT-d analogue of clearing the device's context
+// entry. The IOTLB may still hold stale entries for the old domain; the
+// caller must push an InvDomain through the invalidation queue before the
+// device is re-attached, or a rebuilt domain could inherit translations it
+// never installed.
+//
+// Returns the number of pages that were still mapped (the mappings the
+// reset abandons) and whether a domain existed at all.
+func (u *IOMMU) DetachDevice(dev int) (abandonedPages int64, ok bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	d := u.domains[dev]
+	if d == nil {
+		return 0, false
+	}
+	delete(u.domains, dev)
+	u.Detaches++
+	u.detachC.Inc()
+	return d.mappedPages, true
+}
+
+// Attached reports whether the device currently has a domain.
+func (u *IOMMU) Attached(dev int) bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.domains[dev] != nil
 }
 
 // Domain returns the domain for dev, or nil.

@@ -37,26 +37,36 @@ type Driver struct {
 	// (the ACK-clocked window opener).
 	OnTxDone func(t *sim.Task, ring int, skb *SKBuff)
 
+	// epoch is bumped on every quarantine drain. Completions carry the
+	// epoch their buffer was posted under; a completion from a previous
+	// epoch raced a teardown — its ring state is gone, so the handler
+	// reclaims the buffer without touching the (possibly rebuilt) ring.
+	epoch uint64
+
 	// Stats.
-	RxDelivered   uint64
-	RxDropped     uint64 // completions with DMA faults
-	RxCsumDrops   uint64 // corrupted frames caught by hardware checksum
-	RxUnmapErrors uint64 // RX buffers quarantined after a failed unmap
-	TxUnmapErrors uint64
-	TxCompleted   uint64
-	WatchdogRuns  uint64 // watchdog polls that found work
-	WatchdogReaps uint64 // completions recovered after a lost interrupt
+	RxDelivered     uint64
+	RxDropped       uint64 // completions with DMA faults
+	RxCsumDrops     uint64 // corrupted frames caught by hardware checksum
+	RxUnmapErrors   uint64 // RX unmap failures (buffer leaked unless DAMN)
+	RxUnmapReleased uint64 // DAMN buffers released despite a failed unmap
+	RxStaleDrops    uint64 // completions that crossed a quarantine epoch
+	TxUnmapErrors   uint64
+	TxCompleted     uint64
+	WatchdogRuns    uint64 // watchdog polls that found work
+	WatchdogReaps   uint64 // completions recovered after a lost interrupt
 
 	// Observability (nil-safe handles; see SetStats).
-	rxDelivC  *stats.Counter
-	rxDropC   *stats.Counter
-	rxCsumC   *stats.Counter
-	rxUnmapC  *stats.Counter
-	txUnmapC  *stats.Counter
-	txDoneC   *stats.Counter
-	watchdogC *stats.Counter
-	wdReapedC *stats.Counter
-	wdRefillC *stats.Counter
+	rxDelivC    *stats.Counter
+	rxDropC     *stats.Counter
+	rxCsumC     *stats.Counter
+	rxUnmapC    *stats.Counter
+	rxUnmapRelC *stats.Counter
+	rxStaleC    *stats.Counter
+	txUnmapC    *stats.Counter
+	txDoneC     *stats.Counter
+	watchdogC   *stats.Counter
+	wdReapedC   *stats.Counter
+	wdRefillC   *stats.Counter
 }
 
 // SetStats attaches a metrics registry mirroring the driver's delivery and
@@ -67,6 +77,8 @@ func (d *Driver) SetStats(r *stats.Registry) {
 	d.rxDropC = r.Counter("netstack", "rx_dropped")
 	d.rxCsumC = r.Counter("netstack", "rx_csum_drops")
 	d.rxUnmapC = r.Counter("netstack", "rx_unmap_errors")
+	d.rxUnmapRelC = r.Counter("netstack", "rx_unmap_released")
+	d.rxStaleC = r.Counter("netstack", "rx_stale_drops")
 	d.txUnmapC = r.Counter("netstack", "tx_unmap_errors")
 	d.txDoneC = r.Counter("netstack", "tx_completed")
 	d.watchdogC = r.Counter("netstack", "watchdog_runs")
@@ -77,9 +89,10 @@ func (d *Driver) SetStats(r *stats.Registry) {
 // rxBuf is the driver's per-posted-buffer state, carried through the ring
 // as the descriptor cookie.
 type rxBuf struct {
-	pa   mem.PhysAddr
-	iova iommu.IOVA
-	damn bool
+	pa    mem.PhysAddr
+	iova  iommu.IOVA
+	damn  bool
+	epoch uint64 // driver epoch the buffer was posted under
 }
 
 // NewDriver wires a driver to its NIC.
@@ -120,23 +133,64 @@ func (d *Driver) postOne(t *sim.Task, ring int) error {
 	}
 	return d.nic.PostRX(ring, device.RXDesc{
 		IOVA: v, Size: d.RxBufSize,
-		Cookie: &rxBuf{pa: pa, iova: v, damn: damnOwned},
+		Cookie: &rxBuf{pa: pa, iova: v, damn: damnOwned, epoch: d.epoch},
 	})
+}
+
+// reclaimBuf returns a buffer whose ring life is over to the kernel:
+// dma_unmap then free. When the unmap fails (domain torn down under the
+// driver, injected unmap fault) a non-DAMN buffer's mapping state is
+// unknown and it must be quarantined — a deliberate, counted leak. A DAMN
+// buffer's IOMMU mapping belongs to its chunk, not to this map/unmap pair,
+// so a failed per-DMA unmap leaves nothing ambiguous: the buffer is
+// released for reuse. (Leaking it instead would pin its chunk forever and
+// break conservation across device resets.)
+func (d *Driver) reclaimBuf(t *sim.Task, rb *rxBuf) (freed bool) {
+	if err := d.k.DMA.Unmap(t, d.nic.ID(), rb.iova, d.RxBufSize, dmaapi.FromDevice); err != nil {
+		d.RxUnmapErrors++
+		d.rxUnmapC.Inc()
+		if !rb.damn {
+			return false
+		}
+		d.RxUnmapReleased++
+		d.rxUnmapRelC.Inc()
+	}
+	_ = d.k.FreeBuffer(t, rb.pa, rb.damn)
+	return true
 }
 
 // handleRX runs in interrupt context on the ring's core.
 func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 	for _, comp := range comps {
 		rb := comp.Desc.Cookie.(*rxBuf)
+		if rb.epoch != d.epoch {
+			// The completion raced a quarantine: its descriptor was
+			// popped before the teardown, so the drain never saw it.
+			// Reclaim the buffer but leave the (rebuilt) ring alone.
+			d.RxStaleDrops++
+			d.rxStaleC.Inc()
+			d.RxDropped++
+			d.rxDropC.Inc()
+			d.reclaimBuf(t, rb)
+			continue
+		}
 		// dma_unmap returns ownership to the kernel. For shadow
 		// buffers this performs the copy-back; for DAMN it is the MSB
 		// no-op; for strict it invalidates.
 		if err := d.k.DMA.Unmap(t, d.nic.ID(), rb.iova, d.RxBufSize, dmaapi.FromDevice); err != nil {
-			// The buffer's mapping state is now unknown, so it can
-			// never be reused: quarantine it (deliberate leak), count
-			// the loss, keep the ring alive and keep receiving.
+			// A non-DAMN buffer's mapping state is now unknown, so it
+			// can never be reused: quarantine it (deliberate leak). A
+			// DAMN buffer's mapping is chunk-owned and unaffected by
+			// the failed unmap, so it goes back to the allocator (see
+			// reclaimBuf). Either way, count the drop and keep the
+			// ring alive and receiving.
 			d.RxUnmapErrors++
 			d.rxUnmapC.Inc()
+			if rb.damn {
+				d.RxUnmapReleased++
+				d.rxUnmapRelC.Inc()
+				_ = d.k.FreeBuffer(t, rb.pa, true)
+			}
 			d.RxDropped++
 			d.rxDropC.Inc()
 			if err := d.postOne(t, ring); err != nil {
@@ -206,6 +260,14 @@ func (d *Driver) EnableWatchdog(period sim.Time) (stop func()) {
 	for ring := 0; ring < d.nic.Cfg.Rings; ring++ {
 		ring := ring
 		stops = append(stops, d.k.Sim.Every(period, func() {
+			if d.nic.Quarantined() {
+				// A quarantined or resetting device owns no ring state:
+				// reposting into it would hand buffers to a domain that
+				// is being torn down. The shortfall survives untouched;
+				// once Reinit refills the rings the next tick resumes
+				// normal service.
+				return
+			}
 			comps := d.nic.ReapMissed(ring)
 			if len(comps) == 0 && d.shortfall[ring] == 0 {
 				return
@@ -237,6 +299,64 @@ func (d *Driver) EnableWatchdog(period sim.Time) (stop func()) {
 			s()
 		}
 	}
+}
+
+// Shortfall reports the total descriptor deficit across rings — the NAPI
+// watchdog's backlog. The recovery supervisor reads it as a health signal:
+// a deficit that keeps growing means reposts keep failing.
+func (d *Driver) Shortfall() int {
+	n := 0
+	for _, s := range d.shortfall {
+		n += s
+	}
+	return n
+}
+
+// Epoch reports the current quarantine epoch (tests).
+func (d *Driver) Epoch() uint64 { return d.epoch }
+
+// QuarantineDrain fences the NIC and tears down the driver's ring state:
+// every descriptor still posted (or parked in an interrupt-lost completion)
+// is unmapped and its buffer returned to the kernel while the IOMMU domain
+// is still attached — so legacy-scheme unmaps succeed and IOVA slots are
+// recycled. The epoch bump makes any completion already in flight reclaim
+// its buffer on arrival instead of touching the dead ring. Returns how many
+// buffers were reclaimed, how many had to be leaked (failed non-DAMN
+// unmaps), and how many flow-control-parked segments were dropped.
+func (d *Driver) QuarantineDrain(t *sim.Task) (reclaimed, leaked, parkedDropped int) {
+	d.epoch++
+	descs, parked := d.nic.Quarantine()
+	for _, desc := range descs {
+		rb := desc.Cookie.(*rxBuf)
+		if d.reclaimBuf(t, rb) {
+			reclaimed++
+		} else {
+			leaked++
+		}
+	}
+	// The deficit described a ring that no longer exists; Reinit refills
+	// from scratch.
+	for i := range d.shortfall {
+		d.shortfall[i] = 0
+	}
+	return reclaimed, leaked, parked
+}
+
+// Reinit brings a recovered (or hotplug-replaced) device back into service:
+// lifts the quarantine and refills every RX ring. A fill failure leaves the
+// gap in the ring's shortfall (the watchdog keeps retrying) and is returned
+// so the supervisor can decide between waiting and escalating.
+func (d *Driver) Reinit(t *sim.Task) error {
+	if err := d.nic.Resume(); err != nil {
+		return err
+	}
+	var firstErr error
+	for ring := 0; ring < d.nic.Cfg.Rings; ring++ {
+		if err := d.FillRing(t, ring); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Transmit maps an skb and hands it to the NIC (TSO: the whole ≤64 KiB

@@ -108,6 +108,12 @@ func (s *Sender) Start() {
 // Stop halts the flow after in-flight segments drain.
 func (s *Sender) Stop() { s.stopped = true }
 
+// Kick re-arms a stalled pump. When a device is quarantined, Transmit
+// returns an error and the pump parks with the window open but no
+// completions due that would restart it; the recovery supervisor calls
+// Kick after reinitialisation so the flow resumes.
+func (s *Sender) Kick() { s.schedulePump() }
+
 func (s *Sender) schedulePump() {
 	if s.pumping || s.stopped {
 		return

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/asplos18/damn/internal/faults"
+	"github.com/asplos18/damn/internal/recovery"
 	"github.com/asplos18/damn/internal/sim"
 	"github.com/asplos18/damn/internal/stats"
 	"github.com/asplos18/damn/internal/testbed"
@@ -29,6 +30,11 @@ type ChaosConfig struct {
 	Cores    int
 	Duration sim.Time
 	Warmup   sim.Time
+	// Recovery attaches the fault-domain supervisor, so a chaos run that
+	// degrades into a fault storm gets quarantined and healed instead of
+	// limping. The supervisor's own work is part of the schedule under
+	// test — determinism must survive it.
+	Recovery bool
 }
 
 // ChaosResult reports what a chaos run survived.
@@ -48,6 +54,12 @@ type ChaosResult struct {
 	// DamnLiveChunks is the allocator's live-chunk count after the
 	// conservation audit (-1 when the scheme has no DAMN).
 	DamnLiveChunks int
+	// RecoveryFinal is the NIC's supervisor state at run end, or "off"
+	// when no supervisor was attached; RecoveryStorms/RecoveryResets count
+	// its interventions.
+	RecoveryFinal  string
+	RecoveryStorms uint64
+	RecoveryResets uint64
 	// Snapshot is the machine's full metrics state at run end.
 	Snapshot stats.Snapshot
 }
@@ -88,9 +100,24 @@ func newChaosMachine(cfg *ChaosConfig) (*testbed.Machine, error) {
 	})
 }
 
-// finish stops the watchdog, runs the conservation audit and collects the
-// fault plane's evidence.
-func finishChaos(ma *testbed.Machine, res *ChaosResult) error {
+// attachChaosRecovery arms the supervisor when the config asks for it.
+func attachChaosRecovery(cfg *ChaosConfig, ma *testbed.Machine) *recovery.Supervisor {
+	if !cfg.Recovery {
+		return nil
+	}
+	return recovery.Attach(ma, recovery.Config{})
+}
+
+// finish stops the watchdog and supervisor, runs the conservation audit and
+// collects the fault plane's evidence.
+func finishChaos(ma *testbed.Machine, sup *recovery.Supervisor, res *ChaosResult) error {
+	res.RecoveryFinal = "off"
+	if sup != nil {
+		sup.Stop()
+		res.RecoveryFinal = sup.State(testbed.NICDeviceID).String()
+		res.RecoveryStorms = sup.Storms
+		res.RecoveryResets = sup.Resets
+	}
 	if ma.StopWatchdog != nil {
 		ma.StopWatchdog()
 	}
@@ -122,6 +149,7 @@ func RunChaosNetperf(cfg ChaosConfig) (ChaosResult, error) {
 	if err != nil {
 		return ChaosResult{}, err
 	}
+	sup := attachChaosRecovery(&cfg, ma)
 	rx := make([]int, len(ma.Cores)/2)
 	tx := make([]int, len(ma.Cores)-len(rx))
 	for i := range rx {
@@ -141,7 +169,7 @@ func RunChaosNetperf(cfg ChaosConfig) (ChaosResult, error) {
 	if err != nil {
 		return ChaosResult{}, err
 	}
-	if err := finishChaos(ma, &res); err != nil {
+	if err := finishChaos(ma, sup, &res); err != nil {
 		return res, err
 	}
 	return res, nil
@@ -162,6 +190,7 @@ func RunChaosMemcached(cfg ChaosConfig) (ChaosMemcachedResult, error) {
 	if err != nil {
 		return ChaosMemcachedResult{}, err
 	}
+	sup := attachChaosRecovery(&cfg, ma)
 	var res ChaosMemcachedResult
 	res.Memcached, err = RunMemcached(MemcachedConfig{
 		Machine:  ma,
@@ -171,7 +200,7 @@ func RunChaosMemcached(cfg ChaosConfig) (ChaosMemcachedResult, error) {
 	if err != nil {
 		return ChaosMemcachedResult{}, err
 	}
-	if err := finishChaos(ma, &res.ChaosResult); err != nil {
+	if err := finishChaos(ma, sup, &res.ChaosResult); err != nil {
 		return res, err
 	}
 	return res, nil

@@ -190,3 +190,69 @@ func TestChaosMemcachedSurvivesFaults(t *testing.T) {
 		t.Fatal("no faults fired")
 	}
 }
+
+// TestUnmapFailureReleasesDamnBuffers is the unmap-quarantine regression:
+// when dma_unmap fails on a DAMN RX buffer, the driver must release the
+// buffer back to the allocator (its chunk-owned mapping is unaffected by
+// the per-DMA unmap) instead of quarantining it — otherwise a long-lived
+// machine leaks a chunk per failure and the conservation audit pins them
+// forever.
+func TestUnmapFailureReleasesDamnBuffers(t *testing.T) {
+	res, err := RunChaosNetperf(ChaosConfig{
+		FaultSeed: 5,
+		Rates:     map[faults.Kind]float64{faults.UnmapFail: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := res.Snapshot.Counter("netstack/rx_unmap_errors")
+	released := res.Snapshot.Counter("netstack/rx_unmap_released")
+	if errs == 0 {
+		t.Fatal("no unmap failures injected; regression not exercised")
+	}
+	// Every RX buffer under SchemeDAMN is a DAMN buffer, so every failed
+	// unmap must have released its buffer rather than leaking it.
+	if released != errs {
+		t.Fatalf("released %d of %d failed unmaps; the rest leaked", released, errs)
+	}
+	if res.DamnLiveChunks < 0 {
+		t.Fatal("no DAMN audit ran")
+	}
+	if res.Netperf.TotalGbps <= 0 {
+		t.Fatal("workload made no progress under unmap failures")
+	}
+}
+
+// TestChaosWithRecoverySupervised: chaos with the fault-domain supervisor
+// attached. A DMA-fault-heavy schedule must trip the storm detector and the
+// supervisor must intervene; the supervisor's own work is part of the
+// schedule under test, so two identical runs must still agree on every
+// decision and on the recovery evidence.
+func TestChaosWithRecoverySupervised(t *testing.T) {
+	cfg := ChaosConfig{
+		FaultSeed: 9,
+		Rates:     map[faults.Kind]float64{faults.DMAFault: 0.3},
+		Recovery:  true,
+	}
+	a, err := RunChaosNetperf(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RecoveryFinal == "off" {
+		t.Fatal("Recovery: true attached no supervisor")
+	}
+	if a.RecoveryStorms == 0 || a.RecoveryResets == 0 {
+		t.Errorf("storm-heavy schedule never tripped the supervisor: %+v", a)
+	}
+	if a.DamnLiveChunks < 0 {
+		t.Error("no DAMN audit ran")
+	}
+	b, err := RunChaosNetperf(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RecoveryFinal != b.RecoveryFinal || a.RecoveryStorms != b.RecoveryStorms ||
+		a.RecoveryResets != b.RecoveryResets || a.ScheduleDigest != b.ScheduleDigest {
+		t.Errorf("supervised chaos runs diverge:\n a=%+v\n b=%+v", a, b)
+	}
+}
