@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet staticcheck build test race race-full bench bench-go chaos recovery ci
+.PHONY: all fmt vet staticcheck build test race race-full alloc-gate bench bench-go chaos recovery ci
 
 all: build
 
@@ -36,12 +36,19 @@ race:
 race-full:
 	$(GO) test -race -timeout 60m ./...
 
-# bench regenerates BENCH_PR3.json: engine event-loop microbenchmarks
+# alloc-gate pins the zero-allocation property of the per-packet data path:
+# the DAMN alloc/free fast path, dma_map/dma_unmap under every scheme, and a
+# full RX segment through the pooled skb path must not touch the Go heap in
+# steady state. Runs in seconds; CI fails on any regression.
+alloc-gate:
+	$(GO) test -run 'ZeroAlloc' -count=1 .
+
+# bench regenerates BENCH_PR5.json: engine event-loop microbenchmarks
 # (ns/op, allocs/op — the 0-alloc hot paths are regression-gated) plus the
 # quick-suite wall clock at -parallel 1 vs GOMAXPROCS with the speedup and a
 # byte-identity check between the two runs.
 bench:
-	$(GO) run ./cmd/benchreport -out BENCH_PR3.json
+	$(GO) run ./cmd/benchreport -out BENCH_PR5.json
 
 # bench-go runs the full go-test benchmark tiers: data-structure micro
 # benchmarks, engine micro benchmarks, one macro benchmark per paper figure,

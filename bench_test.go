@@ -31,7 +31,7 @@ import (
 // damnCtx is a zero allocation context (core 0, standard context).
 var damnCtx = damncore.Ctx{}
 
-func benchMachine(b *testing.B, scheme damn.Scheme) *damn.Machine {
+func benchMachine(b testing.TB, scheme damn.Scheme) *damn.Machine {
 	b.Helper()
 	m, err := damn.NewMachine(damn.Config{Scheme: scheme, MemBytes: 512 << 20, Cores: 4})
 	if err != nil {

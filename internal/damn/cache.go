@@ -2,6 +2,7 @@ package damn
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/asplos18/damn/internal/iommu"
 	"github.com/asplos18/damn/internal/iova"
@@ -263,25 +264,65 @@ func log2(n int) int {
 	return k
 }
 
+// regionKey identifies one identity region within a CPU's shard.
+type regionKey struct {
+	rights iommu.Perm
+	dev    int
+}
+
+// regionShard holds one CPU's identity-region allocators. IOVA regions are
+// per-(cpu, rights, dev) by construction (Figure 3 encodes the CPU into the
+// address), so sharding by CPU removes the global allocator lock from chunk
+// creation: cores only contend when the shrinker releases another core's
+// slots back.
+type regionShard struct {
+	mu      sync.Mutex
+	regions map[regionKey]*regionAlloc
+}
+
+// shard returns the region shard for a CPU, clamping out-of-range values
+// the same way the IOVA encoding does.
+func (d *DAMN) shard(cpu int) *regionShard {
+	if cpu < 0 || cpu >= len(d.shards) {
+		cpu = 0
+	}
+	return &d.shards[cpu]
+}
+
 // allocEncodedIOVA takes the next chunk-sized slot in the 1 GiB region of
 // the (cpu, rights, dev) identity and encodes it per Figure 3.
 func (d *DAMN) allocEncodedIOVA(cpu int, rights iommu.Perm, dev int) (iommu.IOVA, error) {
 	if cpu < 0 || cpu >= len(d.cfg.CoreNodes) {
 		cpu = 0
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	key := identKey{cpu: cpu, rights: rights, dev: dev}
-	r, ok := d.regions[key]
-	if !ok {
+	s := d.shard(cpu)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := regionKey{rights: rights, dev: dev}
+	r := s.regions[key]
+	if r == nil {
+		if s.regions == nil {
+			s.regions = make(map[regionKey]*regionAlloc)
+		}
 		r = &regionAlloc{}
-		d.regions[key] = r
+		s.regions[key] = r
 	}
 	off, err := r.alloc(uint64(d.ChunkBytes()))
 	if err != nil {
 		return 0, err
 	}
 	return iova.Encode(cpu, rights, dev, off)
+}
+
+// releaseRegionSlot returns a chunk's IOVA slot to its identity region
+// (shrinker and dead-chunk teardown paths).
+func (d *DAMN) releaseRegionSlot(cpu int, rights iommu.Perm, dev int, off uint64) {
+	s := d.shard(cpu)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r := s.regions[regionKey{rights: rights, dev: dev}]; r != nil {
+		r.release(off)
+	}
 }
 
 // regionAlloc hands out chunk-sized offsets within one identity's 1 GiB
@@ -322,16 +363,27 @@ func (d *DAMN) registerChunk(ch *chunk) {
 		idx = len(d.registry) - 1
 	}
 	ch.regIdx = idx + 1
-	ch.gen = d.devGen[ch.cache.key.dev]
+	if dev := ch.cache.key.dev; dev >= 0 && dev < len(d.devGens) {
+		ch.gen = d.devGens[dev]
+	}
 	tail1 := d.mem.PageOf(ch.head.PFN() + 1)
 	tail1.Private = uint64(ch.iova)
 	tail2 := d.mem.PageOf(ch.head.PFN() + 2)
 	tail2.Private = uint64(ch.regIdx)
 	tail2.SetFlags(mem.FlagDAMN)
+	d.publishRegistryLocked()
 	d.ChunksCreated++
 	d.footprint += int64(d.ChunkBytes())
 	d.createdC.Inc()
 	d.footprintG.Add(int64(d.ChunkBytes()))
+}
+
+// publishRegistryLocked refreshes the lock-free registry snapshot chunkOf
+// reads. Caller holds d.mu.
+func (d *DAMN) publishRegistryLocked() {
+	snap := make([]*chunk, len(d.registry))
+	copy(snap, d.registry)
+	d.regSnap.Store(snap)
 }
 
 // unregisterChunk removes the metadata (shrinker path).
@@ -344,6 +396,7 @@ func (d *DAMN) unregisterChunk(ch *chunk) {
 	d.mem.PageOf(ch.head.PFN() + 1).Private = 0
 	d.registry[ch.regIdx-1] = nil
 	d.freeSlots = append(d.freeSlots, ch.regIdx-1)
+	d.publishRegistryLocked()
 	ch.regIdx = 0
 	d.ChunksReleased++
 	d.footprint -= int64(d.ChunkBytes())

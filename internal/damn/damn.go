@@ -28,6 +28,7 @@ package damn
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/asplos18/damn/internal/iommu"
 	"github.com/asplos18/damn/internal/iova"
@@ -113,22 +114,34 @@ type DAMN struct {
 	model *perf.Model
 	cfg   Config
 
-	mu      sync.Mutex
-	caches  map[cacheKey]*dmaCache
-	regions map[identKey]*regionAlloc
+	mu     sync.Mutex
+	caches map[cacheKey]*dmaCache
+	// cacheSnap is a copy-on-write snapshot of caches: Alloc/Free read it
+	// without taking d.mu (the §5.4 point — the hot path is per-core), and
+	// the rare cache creation republishes it under d.mu.
+	cacheSnap atomic.Value // map[cacheKey]*dmaCache
+	// shards hold the per-CPU identity-region IOVA allocators: chunk
+	// creation on one core never contends with another core's.
+	shards []regionShard
 	// registry maps small indexes (stored in tail page structs) back to
 	// chunk objects; the functional equivalent of deriving the chunk
-	// from page-struct metadata.
+	// from page-struct metadata. regSnap is its copy-on-write snapshot:
+	// chunkOf (every Free and every interposed dma_map) reads it without
+	// d.mu; register/unregister republish under d.mu.
 	registry  []*chunk
 	freeSlots []int
+	regSnap   atomic.Value // []*chunk
 
 	// dense is the single dense IOVA bump used in DenseHugeIOVA mode.
 	denseNext uint64
 
-	// devGen counts device resets: chunks record the generation they were
-	// created under, and a chunk whose generation is stale is dead — its
-	// mapping died with the old domain (see ReleaseDevice).
-	devGen map[int]uint64
+	// devGens counts device resets, indexed by device id: chunks record the
+	// generation they were created under, and a chunk whose generation is
+	// stale is dead — its mapping died with the old domain (see
+	// ReleaseDevice). genSnap is the lock-free read-side copy consulted on
+	// every chunk recycle.
+	devGens []uint64
+	genSnap atomic.Value // []uint64
 
 	// Stats for Fig 10 / EXPERIMENTS.md.
 	ChunksCreated  uint64
@@ -181,12 +194,6 @@ type cacheKey struct {
 	node   int
 }
 
-type identKey struct {
-	cpu    int
-	rights iommu.Perm
-	dev    int
-}
-
 // New builds a DAMN allocator over the machine's memory and IOMMU.
 func New(m *mem.Memory, u *iommu.IOMMU, model *perf.Model, cfg Config) (*DAMN, error) {
 	if cfg.ChunkPages <= 0 || cfg.ChunkPages&(cfg.ChunkPages-1) != 0 {
@@ -207,12 +214,12 @@ func New(m *mem.Memory, u *iommu.IOMMU, model *perf.Model, cfg Config) (*DAMN, e
 		return nil, fmt.Errorf("damn: %d cores exceed the IOVA encoding's %d", len(cfg.CoreNodes), iova.MaxCPU+1)
 	}
 	return &DAMN{
-		mem:     m,
-		iommu:   u,
-		model:   model,
-		cfg:     cfg,
-		caches:  make(map[cacheKey]*dmaCache),
-		regions: make(map[identKey]*regionAlloc),
+		mem:    m,
+		iommu:  u,
+		model:  model,
+		cfg:    cfg,
+		caches: make(map[cacheKey]*dmaCache),
+		shards: make([]regionShard, len(cfg.CoreNodes)),
 	}, nil
 }
 
@@ -239,14 +246,26 @@ func (d *DAMN) nodeOf(cpu int) int {
 	return d.cfg.CoreNodes[cpu]
 }
 
-// cache returns (creating on demand) the DMA cache for a key.
+// cache returns (creating on demand) the DMA cache for a key. The common
+// case — the cache exists — is a lock-free snapshot read; only the first
+// allocation against a new (dev, rights, node) identity takes d.mu.
 func (d *DAMN) cache(key cacheKey) *dmaCache {
+	if m, _ := d.cacheSnap.Load().(map[cacheKey]*dmaCache); m != nil {
+		if c := m[key]; c != nil {
+			return c
+		}
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	c, ok := d.caches[key]
 	if !ok {
 		c = newDMACache(d, key)
 		d.caches[key] = c
+		snap := make(map[cacheKey]*dmaCache, len(d.caches))
+		for k, v := range d.caches {
+			snap[k] = v
+		}
+		d.cacheSnap.Store(snap)
 	}
 	return c
 }
@@ -340,7 +359,9 @@ func (d *DAMN) IOVAOf(addr mem.PhysAddr) (iommu.IOVA, bool) {
 	return ch.iova + iommu.IOVA(addr-ch.pa), true
 }
 
-// chunkOf resolves an address to its DAMN chunk, or nil.
+// chunkOf resolves an address to its DAMN chunk, or nil. It runs on every
+// Free and every interposed dma_map, so the registry read goes through the
+// lock-free copy-on-write snapshot.
 func (d *DAMN) chunkOf(addr mem.PhysAddr) *chunk {
 	if d.mem.CheckRange(addr, 1) != nil {
 		return nil
@@ -357,10 +378,9 @@ func (d *DAMN) chunkOf(addr mem.PhysAddr) *chunk {
 		return nil
 	}
 	idx := int(flagPage.Private)
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if idx < 1 || idx > len(d.registry) || d.registry[idx-1] == nil {
+	registry, _ := d.regSnap.Load().([]*chunk)
+	if idx < 1 || idx > len(registry) {
 		return nil
 	}
-	return d.registry[idx-1]
+	return registry[idx-1]
 }

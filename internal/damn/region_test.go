@@ -1,0 +1,104 @@
+package damn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/asplos18/damn/internal/iova"
+)
+
+// TestRegionAllocFreeListBounded drives random alloc/release cycles against
+// one identity-region allocator and checks the slot bookkeeping stays exact:
+// the free list reuses slots LIFO (pop from tail), never holds a duplicate,
+// and live+free slot counts never exceed the high-water carve — so arbitrary
+// churn cannot grow the free list beyond the region's slot capacity.
+func TestRegionAllocFreeListBounded(t *testing.T) {
+	const size = uint64(64 << 10) // chunk bytes
+	capacity := iova.OffsetSpace / size
+	r := &regionAlloc{}
+	rng := rand.New(rand.NewSource(5))
+	live := make(map[uint64]bool)
+
+	check := func(step int) {
+		carved := r.next / size
+		if uint64(len(live))+uint64(len(r.free)) != carved {
+			t.Fatalf("step %d: %d live + %d free != %d carved",
+				step, len(live), len(r.free), carved)
+		}
+		if uint64(len(r.free)) > capacity {
+			t.Fatalf("step %d: free list %d exceeds region capacity %d",
+				step, len(r.free), capacity)
+		}
+		seen := make(map[uint64]bool, len(r.free))
+		for _, off := range r.free {
+			if live[off] {
+				t.Fatalf("step %d: offset %#x both live and free", step, off)
+			}
+			if seen[off] {
+				t.Fatalf("step %d: offset %#x twice in free list", step, off)
+			}
+			seen[off] = true
+		}
+	}
+
+	for step := 0; step < 20000; step++ {
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			off, err := r.alloc(size)
+			if err != nil {
+				t.Fatalf("step %d: alloc: %v", step, err)
+			}
+			if off%size != 0 {
+				t.Fatalf("step %d: misaligned offset %#x", step, off)
+			}
+			if live[off] {
+				t.Fatalf("step %d: offset %#x handed out twice", step, off)
+			}
+			live[off] = true
+		} else {
+			// Release a random live slot, then verify LIFO reuse: the
+			// very next alloc must return it.
+			var victim uint64
+			n := rng.Intn(len(live))
+			for off := range live {
+				if n == 0 {
+					victim = off
+					break
+				}
+				n--
+			}
+			delete(live, victim)
+			r.release(victim)
+			if step%3 == 0 {
+				off, err := r.alloc(size)
+				if err != nil {
+					t.Fatalf("step %d: realloc: %v", step, err)
+				}
+				if off != victim {
+					t.Fatalf("step %d: reuse not LIFO: got %#x, want %#x",
+						step, off, victim)
+				}
+				live[off] = true
+			}
+		}
+		check(step)
+	}
+
+	// Drain everything: the free list ends exactly at the high-water carve
+	// and a full refill consumes only recycled slots (next is unchanged).
+	for off := range live {
+		r.release(off)
+		delete(live, off)
+	}
+	carved := r.next
+	for i := uint64(0); i < carved/size; i++ {
+		if _, err := r.alloc(size); err != nil {
+			t.Fatalf("refill alloc %d: %v", i, err)
+		}
+	}
+	if len(r.free) != 0 {
+		t.Fatalf("refill left %d free slots", len(r.free))
+	}
+	if r.next != carved {
+		t.Fatalf("refill carved new slots: next %#x, want %#x", r.next, carved)
+	}
+}

@@ -104,11 +104,7 @@ func (d *DAMN) releaseChunk(x Ctx, c *dmaCache, ch *chunk) int64 {
 	perf.ChargeTimeCat(x.C, d.teardownInvPS, d.model.IOTLBInvLatency)
 	// Recycle the identity-region IOVA slot.
 	if e, ok := iova.Decode(ch.iova); ok && !ch.huge {
-		d.mu.Lock()
-		if r := d.regions[identKey{cpu: e.CPU, rights: e.Rights, dev: e.Dev}]; r != nil {
-			r.release(e.Offset)
-		}
-		d.mu.Unlock()
+		d.releaseRegionSlot(e.CPU, e.Rights, e.Dev, e.Offset)
 	}
 	d.unregisterChunk(ch)
 	order := log2(d.cfg.ChunkPages)
@@ -117,11 +113,17 @@ func (d *DAMN) releaseChunk(x Ctx, c *dmaCache, ch *chunk) int64 {
 }
 
 // chunkIsDead reports whether the chunk predates the device's current
-// generation: its mapping died with a destroyed domain.
+// generation: its mapping died with a destroyed domain. It runs on every
+// chunk recycle, so it reads the lock-free generation snapshot (device
+// resets are rare; they republish it under d.mu).
 func (d *DAMN) chunkIsDead(ch *chunk) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return ch.gen != d.devGen[ch.cache.key.dev]
+	gens, _ := d.genSnap.Load().([]uint64)
+	dev := ch.cache.key.dev
+	var gen uint64
+	if dev >= 0 && dev < len(gens) {
+		gen = gens[dev]
+	}
+	return ch.gen != gen
 }
 
 // releaseDeadChunk reclaims a chunk whose domain no longer exists: no unmap
@@ -133,11 +135,7 @@ func (d *DAMN) chunkIsDead(ch *chunk) bool {
 func (d *DAMN) releaseDeadChunk(x Ctx, c *dmaCache, ch *chunk) int64 {
 	perf.ChargeCat(x.C, d.teardownCyc, d.model.DamnFreeCycles)
 	if e, ok := iova.Decode(ch.iova); ok && !ch.huge {
-		d.mu.Lock()
-		if r := d.regions[identKey{cpu: e.CPU, rights: e.Rights, dev: e.Dev}]; r != nil {
-			r.release(e.Offset)
-		}
-		d.mu.Unlock()
+		d.releaseRegionSlot(e.CPU, e.Rights, e.Dev, e.Offset)
 	}
 	d.unregisterChunk(ch)
 	d.mem.FreePages(ch.head, log2(d.cfg.ChunkPages))
@@ -161,11 +159,17 @@ func (d *DAMN) releaseDeadChunk(x Ctx, c *dmaCache, ch *chunk) int64 {
 // buffers (they conserve through the lazy path; damn.Audit stays exact
 // throughout).
 func (d *DAMN) ReleaseDevice(x Ctx, dev int) (releasedPages int64, pinnedChunks int) {
-	d.mu.Lock()
-	if d.devGen == nil {
-		d.devGen = make(map[int]uint64)
+	if dev < 0 {
+		return 0, 0
 	}
-	d.devGen[dev]++
+	d.mu.Lock()
+	for dev >= len(d.devGens) {
+		d.devGens = append(d.devGens, 0)
+	}
+	d.devGens[dev]++
+	gens := make([]uint64, len(d.devGens))
+	copy(gens, d.devGens)
+	d.genSnap.Store(gens)
 	keys := make([]cacheKey, 0, len(d.caches))
 	for k := range d.caches {
 		if k.dev == dev {

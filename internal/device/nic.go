@@ -120,6 +120,16 @@ type NIC struct {
 	RxStalls          uint64 // segments parked because the ring was empty
 	RxQuarantineDrops uint64 // segments dropped at a quarantined device
 
+	// Free lists recycling the per-packet scheduling records (each holds
+	// its event and task closures, bound once at creation), plus the TX
+	// payload-probe scratch buffer — the steady-state per-packet path
+	// allocates nothing. Records are host-side only: they carry no
+	// simulated memory and change no event or task ordering.
+	freeArrivals []*rxArrival
+	freeRXD      []*rxDispatch
+	freeTXD      []*txDispatch
+	txProbe      []byte
+
 	// Observability (nil-safe handles; see SetStats).
 	rxSegC    *stats.Counter
 	rxByteC   *stats.Counter
@@ -146,12 +156,59 @@ func (n *NIC) SetStats(r *stats.Registry) {
 	n.txSizeH = r.Histogram("device", "nic_tx_segment_bytes")
 }
 
+// rxRing holds posted descriptors and the flow-controlled backlog. Both
+// queues pop via a head index and compact in place when an append would
+// grow the array — one backing array serves the ring's whole life instead
+// of the pop-reslice/append cycle reallocating per packet.
 type rxRing struct {
 	descs   []RXDesc
+	dhead   int
 	pending []Segment // flow-controlled backlog waiting for buffers
+	phead   int
 	// missed holds completions whose interrupt was lost (injected
 	// ComplLoss); the driver's watchdog poll reaps them later.
 	missed []missedComp
+}
+
+func (r *rxRing) posted() int { return len(r.descs) - r.dhead }
+
+func (r *rxRing) parked() int { return len(r.pending) - r.phead }
+
+func (r *rxRing) popDesc() RXDesc {
+	d := r.descs[r.dhead]
+	r.dhead++
+	if r.dhead == len(r.descs) {
+		r.descs = r.descs[:0]
+		r.dhead = 0
+	}
+	return d
+}
+
+func (r *rxRing) popPending() Segment {
+	s := r.pending[r.phead]
+	r.pending[r.phead] = Segment{} // drop payload refs
+	r.phead++
+	if r.phead == len(r.pending) {
+		r.pending = r.pending[:0]
+		r.phead = 0
+	}
+	return s
+}
+
+func (r *rxRing) park(seg Segment) {
+	if r.phead > 0 && len(r.pending) == cap(r.pending) {
+		n := copy(r.pending, r.pending[r.phead:])
+		clearSegs(r.pending[n:])
+		r.pending = r.pending[:n]
+		r.phead = 0
+	}
+	r.pending = append(r.pending, seg)
+}
+
+func clearSegs(s []Segment) {
+	for i := range s {
+		s[i] = Segment{}
+	}
 }
 
 type missedComp struct {
@@ -226,14 +283,14 @@ func (n *NIC) Removed() bool { return n.removed }
 func (n *NIC) Quarantine() (reclaim []RXDesc, parkedDropped int) {
 	n.quarantined = true
 	for _, r := range n.rings {
-		reclaim = append(reclaim, r.descs...)
-		r.descs = nil
+		reclaim = append(reclaim, r.descs[r.dhead:]...)
+		r.descs, r.dhead = nil, 0
 		for _, m := range r.missed {
 			reclaim = append(reclaim, m.comp.Desc)
 		}
 		r.missed = nil
-		parkedDropped += len(r.pending)
-		r.pending = nil
+		parkedDropped += r.parked()
+		r.pending, r.phead = nil, 0
 	}
 	if parkedDropped > 0 {
 		n.RxQuarantineDrops += uint64(parkedDropped)
@@ -271,24 +328,27 @@ func (n *NIC) PostRX(ring int, descs ...RXDesc) error {
 		return fmt.Errorf("device: nic %d quarantined; RX post rejected", n.Cfg.ID)
 	}
 	r := n.rings[ring]
-	if len(r.descs)+len(descs) > n.Cfg.RingSize {
+	if r.posted()+len(descs) > n.Cfg.RingSize {
 		return fmt.Errorf("device: RX ring %d overflow", ring)
 	}
+	if r.dhead > 0 && len(r.descs)+len(descs) > cap(r.descs) {
+		k := copy(r.descs, r.descs[r.dhead:])
+		r.descs = r.descs[:k]
+		r.dhead = 0
+	}
 	r.descs = append(r.descs, descs...)
-	for len(r.pending) > 0 && len(r.descs) > 0 {
-		seg := r.pending[0]
-		r.pending = r.pending[1:]
-		n.deliver(ring, seg)
+	for r.parked() > 0 && r.posted() > 0 {
+		n.deliver(ring, r.popPending())
 	}
 	return nil
 }
 
 // RXPosted reports the number of free posted buffers in a ring.
-func (n *NIC) RXPosted(ring int) int { return len(n.rings[ring].descs) }
+func (n *NIC) RXPosted(ring int) int { return n.rings[ring].posted() }
 
 // RXParked reports segments held by flow control because the ring had no
 // buffers — the congestion signal a paused sender sees.
-func (n *NIC) RXParked(ring int) int { return len(n.rings[ring].pending) }
+func (n *NIC) RXParked(ring int) int { return n.rings[ring].parked() }
 
 // WireRXBacklog returns how far a port's inbound wire has fallen behind —
 // the generator's pacing signal.
@@ -326,14 +386,109 @@ func (n *NIC) InjectRX(port, ring int, seg Segment) {
 		// The duplicate pays its own wire time, like a real re-sent frame.
 		dup := seg
 		dupDone := n.rxWire[port].Reserve(n.se.Now(), float64(dup.Len))
-		n.se.At(dupDone, func() { n.tryDeliver(ring, dup) })
+		n.scheduleArrival(dupDone, ring, dup)
 	}
 	wireDone := n.rxWire[port].Reserve(n.se.Now(), float64(seg.Len))
 	if n.inj.Should(faults.LinkReorder) {
 		// Hold the segment back so traffic behind it overtakes.
 		wireDone += n.inj.Duration(faults.LinkReorder, 1*sim.Microsecond, 50*sim.Microsecond)
 	}
-	n.se.At(wireDone, func() { n.tryDeliver(ring, seg) })
+	n.scheduleArrival(wireDone, ring, seg)
+}
+
+// rxArrival carries one segment across its wire time: InjectRX schedules the
+// record's fire closure (bound once at creation) instead of allocating a
+// fresh closure per segment. The record returns to the free list before
+// delivering, so delivery-path re-entry just pops the next record.
+type rxArrival struct {
+	n    *NIC
+	ring int
+	seg  Segment
+	fire func()
+}
+
+func (n *NIC) scheduleArrival(at sim.Time, ring int, seg Segment) {
+	var a *rxArrival
+	if m := len(n.freeArrivals); m > 0 {
+		a = n.freeArrivals[m-1]
+		n.freeArrivals = n.freeArrivals[:m-1]
+	} else {
+		a = &rxArrival{n: n}
+		a.fire = func() {
+			ring, seg := a.ring, a.seg
+			a.seg = Segment{}
+			a.n.freeArrivals = append(a.n.freeArrivals, a)
+			a.n.tryDeliver(ring, seg)
+		}
+	}
+	a.ring = ring
+	a.seg = seg
+	n.se.At(at, a.fire)
+}
+
+// rxDispatch carries one RX completion from its DMA-done event into the
+// interrupt handler. Each completion remains its own event and its own task
+// (merging either would change figure output); only the record and its two
+// closures are recycled.
+type rxDispatch struct {
+	n     *NIC
+	ring  int
+	comps [1]RXCompletion
+	fire  func()
+	task  func(*sim.Task)
+}
+
+func (n *NIC) getRXDispatch() *rxDispatch {
+	if m := len(n.freeRXD); m > 0 {
+		d := n.freeRXD[m-1]
+		n.freeRXD = n.freeRXD[:m-1]
+		return d
+	}
+	d := &rxDispatch{n: n}
+	d.fire = func() {
+		core := d.n.cores[d.ring%len(d.n.cores)]
+		core.Submit(true, d.task)
+	}
+	d.task = func(t *sim.Task) {
+		if d.n.rxHandler != nil {
+			d.n.rxHandler(t, d.ring, d.comps[:1])
+		}
+		d.comps[0] = RXCompletion{}
+		d.n.freeRXD = append(d.n.freeRXD, d)
+	}
+	return d
+}
+
+// txDispatch is the transmit-side twin: its fire closure also retires the
+// in-flight descriptor at wire-done time, as the inline closure used to.
+type txDispatch struct {
+	n     *NIC
+	ring  int
+	descs [1]TXDesc
+	fire  func()
+	task  func(*sim.Task)
+}
+
+func (n *NIC) getTXDispatch() *txDispatch {
+	if m := len(n.freeTXD); m > 0 {
+		d := n.freeTXD[m-1]
+		n.freeTXD = n.freeTXD[:m-1]
+		return d
+	}
+	d := &txDispatch{n: n}
+	d.fire = func() {
+		d.n.txqs[d.ring].inFlight--
+		core := d.n.cores[d.ring%len(d.n.cores)]
+		core.Submit(true, d.task)
+	}
+	d.task = func(t *sim.Task) {
+		if d.n.txHandler != nil {
+			d.n.txHandler(t, d.ring, d.descs[:1])
+		}
+		d.descs[0] = TXDesc{}
+		d.n.freeTXD = append(d.n.freeTXD, d)
+	}
+	return d
 }
 
 func (n *NIC) tryDeliver(ring int, seg Segment) {
@@ -345,10 +500,10 @@ func (n *NIC) tryDeliver(ring int, seg Segment) {
 		return
 	}
 	r := n.rings[ring]
-	if len(r.descs) == 0 {
+	if r.posted() == 0 {
 		// Lossless flow control (§6.1: "Ethernet flow control on"):
 		// park until the driver posts buffers.
-		r.pending = append(r.pending, seg)
+		r.park(seg)
 		n.RxStalls++
 		n.stallC.Inc()
 		return
@@ -359,8 +514,7 @@ func (n *NIC) tryDeliver(ring int, seg Segment) {
 // deliver performs the DMA and raises the interrupt.
 func (n *NIC) deliver(ring int, seg Segment) {
 	r := n.rings[ring]
-	desc := r.descs[0]
-	r.descs = r.descs[1:]
+	desc := r.popDesc()
 
 	now := n.se.Now()
 	done := n.pcieRX.Reserve(now, float64(seg.Len))
@@ -410,14 +564,10 @@ func (n *NIC) deliver(ring int, seg Segment) {
 		n.inj.ObserveRecovery(faults.ComplDelay, extra)
 		done += extra
 	}
-	core := n.cores[ring%len(n.cores)]
-	n.se.At(done, func() {
-		core.Submit(true, func(t *sim.Task) {
-			if n.rxHandler != nil {
-				n.rxHandler(t, ring, []RXCompletion{comp})
-			}
-		})
-	})
+	d := n.getRXDispatch()
+	d.ring = ring
+	d.comps[0] = comp
+	n.se.At(done, d.fire)
 }
 
 // ReapMissed pops the completions whose interrupts were lost on a ring —
@@ -450,9 +600,7 @@ func (n *NIC) MissedCompletions(ring int) int { return len(n.rings[ring].missed)
 // transfer spans (the functional DMA only materialises a prefix, but the
 // hardware walks the whole span).
 func (n *NIC) touchTranslations(base iommu.IOVA, span int, write bool) {
-	for off := 0; off < span; off += 1 << 12 {
-		n.u.Translate(n.Cfg.ID, base+iommu.IOVA(off), write) //nolint:errcheck
-	}
+	n.u.TranslateSpan(n.Cfg.ID, base, span, write) //nolint:errcheck
 }
 
 // dmaWriteSegment writes the materialised bytes of a segment into the
@@ -505,7 +653,10 @@ func (n *NIC) PostTX(ring, port int, desc TXDesc) error {
 	if probe > 256 {
 		probe = 256
 	}
-	buf := make([]byte, probe)
+	if cap(n.txProbe) < probe {
+		n.txProbe = make([]byte, 256)
+	}
+	buf := n.txProbe[:probe]
 	_, err := n.u.DMARead(n.Cfg.ID, desc.IOVA, buf)
 	n.touchTranslations(desc.IOVA, desc.Size, false)
 	misses := n.u.TLB().Misses - missesBefore
@@ -525,15 +676,10 @@ func (n *NIC) PostTX(ring, port int, desc TXDesc) error {
 	n.txSegC.Inc()
 	n.txByteC.Add(uint64(desc.Size))
 	n.txSizeH.Observe(float64(desc.Size))
-	core := n.cores[ring%len(n.cores)]
-	n.se.At(wireDone, func() {
-		q.inFlight--
-		core.Submit(true, func(t *sim.Task) {
-			if n.txHandler != nil {
-				n.txHandler(t, ring, []TXDesc{desc})
-			}
-		})
-	})
+	d := n.getTXDispatch()
+	d.ring = ring
+	d.descs[0] = desc
+	n.se.At(wireDone, d.fire)
 	return nil
 }
 

@@ -41,6 +41,7 @@ func Ablations(opts Options) ([]AblationRow, error) {
 		if err != nil {
 			return AblationRow{}, err
 		}
+		defer ma.Close()
 		res, err := workloads.RunNetperf(workloads.NetperfConfig{
 			Machine: ma, Warmup: warm, Duration: dur,
 			RXCores: repCores(0, 4),

@@ -45,6 +45,7 @@ func Fig2(opts Options) ([]InterferenceRow, error) {
 		if err != nil {
 			return InterferenceRow{}, err
 		}
+		defer ma.Close()
 		var graphs []*workloads.Graph500Instance
 		if withGraph {
 			for _, cores := range graphSets {
@@ -155,6 +156,7 @@ func Fig7(opts Options) ([]MemcachedRow, error) {
 		if err != nil {
 			return MemcachedRow{}, err
 		}
+		defer ma.Close()
 		res, err := workloads.RunMemcached(workloads.MemcachedConfig{
 			Machine: ma, Warmup: warm, Duration: dur,
 		})
@@ -207,6 +209,7 @@ func Fig8(opts Options) ([]TocttouRow, error) {
 		if err != nil {
 			return TocttouRow{}, err
 		}
+		defer ma.Close()
 		if n > 0 {
 			ma.Kernel.Netfilter.Register(func(t *sim.Task, skb *netstack.SKBuff) netstack.Verdict {
 				// Access pulls the bytes out of the device's

@@ -46,6 +46,7 @@ func fig9Run(opts Options) ([]Fig9Point, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer ma.Close()
 	if err := ma.FillAllRings(); err != nil {
 		return nil, err
 	}
@@ -137,6 +138,7 @@ func Fig10(opts Options) ([]MemUsageRow, error) {
 		if err != nil {
 			return MemUsageRow{}, err
 		}
+		defer ma.Close()
 		// Sample allocated kernel pages every millisecond.
 		var samples []int64
 		stop := ma.Sim.Every(sim.Millisecond, func() {

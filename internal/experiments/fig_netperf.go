@@ -24,6 +24,7 @@ func Fig4(opts Options) ([]SingleCoreRow, error) {
 		if err != nil {
 			return SingleCoreRow{}, err
 		}
+		defer ma.Close()
 		cfg := workloads.NetperfConfig{
 			Machine: ma, Warmup: warm, Duration: dur,
 			ExtraCycles: extraSingleCore,
@@ -90,6 +91,7 @@ func Fig5(opts Options) ([]MultiCoreRow, error) {
 		if err != nil {
 			return MultiCoreRow{}, err
 		}
+		defer ma.Close()
 		cfg := workloads.NetperfConfig{
 			Machine: ma, Warmup: warm, Duration: dur,
 			ExtraCycles: extraMultiCore, Wakeup: true,
@@ -147,6 +149,7 @@ func fig6Schemes(opts Options, schemes []testbed.Scheme) ([]BidirRow, error) {
 		if err != nil {
 			return BidirRow{}, err
 		}
+		defer ma.Close()
 		res, err := workloads.RunNetperf(workloads.NetperfConfig{
 			Machine: ma, Warmup: warm, Duration: dur,
 			RXCores:     seqCores(len(ma.Cores)),

@@ -50,6 +50,7 @@ func Fig11(opts Options) ([]FioRow, error) {
 		if err != nil {
 			return FioRow{}, err
 		}
+		defer ma.Close()
 		nvme := device.NewNVMe(ma.Sim, ma.IOMMU, ma.Model, ma.Cores,
 			device.DefaultP3700(testbed.NVMeDeviceID))
 		res, err := workloads.RunFio(workloads.FioConfig{

@@ -58,6 +58,7 @@ func Footnote5(opts Options) ([]Footnote5Row, error) {
 		if err != nil {
 			return Footnote5Row{}, err
 		}
+		defer ma.Close()
 		res, err := workloads.RunNetperf(workloads.NetperfConfig{
 			Machine: ma, Warmup: warm, Duration: dur,
 			RXCores: []int{0}, // a single instance

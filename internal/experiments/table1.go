@@ -59,6 +59,7 @@ func probeSubpage(scheme testbed.Scheme, opts Options) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	defer ma.Close()
 	attacker := device.NewMalicious(ma.IOMMU, testbed.NICDeviceID)
 	secret := []byte("CO-LOCATED-SECRET")
 
@@ -112,6 +113,7 @@ func probeWindow(scheme testbed.Scheme, opts Options) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	defer ma.Close()
 	attacker := device.NewMalicious(ma.IOMMU, testbed.NICDeviceID)
 
 	if ma.Damn != nil {

@@ -5,7 +5,6 @@ import (
 
 	"github.com/asplos18/damn/internal/faults"
 	"github.com/asplos18/damn/internal/mem"
-	"github.com/asplos18/damn/internal/stats"
 )
 
 // Translate resolves one IOVA to a physical address on behalf of a device
@@ -25,20 +24,22 @@ func (u *IOMMU) Translate(dev int, iova IOVA, write bool) (mem.PhysAddr, error) 
 func (u *IOMMU) faultLocked(dev int, iova IOVA, want Perm, write, injected bool) Fault {
 	u.BlockedDMAs++
 	u.blockedC.Inc()
-	if u.blockedBy == nil {
-		u.blockedBy = make(map[int]uint64)
-	}
-	u.blockedBy[dev]++
-	if u.reg != nil {
-		if u.blockedDevC == nil {
-			u.blockedDevC = make(map[int]*stats.Counter)
+	if dev >= 0 {
+		for dev >= len(u.blockedBy) {
+			u.blockedBy = append(u.blockedBy, 0)
 		}
-		c, ok := u.blockedDevC[dev]
-		if !ok {
-			c = u.reg.Counter("iommu", fmt.Sprintf("blocked_dmas_dev%d", dev))
-			u.blockedDevC[dev] = c
+		u.blockedBy[dev]++
+		if u.reg != nil {
+			for dev >= len(u.blockedDevC) {
+				u.blockedDevC = append(u.blockedDevC, nil)
+			}
+			c := u.blockedDevC[dev]
+			if c == nil {
+				c = u.reg.Counter("iommu", fmt.Sprintf("blocked_dmas_dev%d", dev))
+				u.blockedDevC[dev] = c
+			}
+			c.Inc()
 		}
-		c.Inc()
 	}
 	f := Fault{Dev: dev, Addr: iova, Wanted: want, Write: write}
 	u.faults = append(u.faults, f)
@@ -51,13 +52,16 @@ func (u *IOMMU) faultLocked(dev int, iova IOVA, want Perm, write, injected bool)
 func (u *IOMMU) BlockedDMAsFor(dev int) uint64 {
 	u.mu.Lock()
 	defer u.mu.Unlock()
+	if dev < 0 || dev >= len(u.blockedBy) {
+		return 0
+	}
 	return u.blockedBy[dev]
 }
 
 func (u *IOMMU) translateLocked(dev int, iova IOVA, write bool) (mem.PhysAddr, error) {
 	u.Translations++
 	u.transC.Inc()
-	d := u.domains[dev]
+	d := u.domain(dev)
 	if d == nil {
 		return 0, u.faultLocked(dev, iova, permFor(write), write, false)
 	}
@@ -100,6 +104,27 @@ func permFor(write bool) Perm {
 		return PermWrite
 	}
 	return PermRead
+}
+
+// TranslateSpan translates every 4 KiB page of [iova, iova+span) in one
+// critical section — the batched form of Translate a device uses when it
+// walks a whole segment. Counters, IOTLB state and fault records are
+// identical to span/PageSize individual Translate calls; the batching only
+// saves the per-page lock round trip. Faults do not abort the span (the
+// device touches each page independently); the first error is returned.
+func (u *IOMMU) TranslateSpan(dev int, iova IOVA, span int, write bool) error {
+	if span <= 0 {
+		return nil
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	var first error
+	for off := 0; off < span; off += mem.PageSize {
+		if _, err := u.translateLocked(dev, iova+IOVA(off), write); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // DMARead performs a device read (device fetches host memory, e.g. a TX

@@ -41,14 +41,16 @@ type FaultQueue struct {
 	// Per-source-device attribution: the supervisor needs to pin a fault
 	// storm on one fault domain, and a full ring must still say *whose*
 	// records it is losing (the source-id field of a VT-d fault record).
-	recordedBy  map[int]uint64
-	overflowsBy map[int]uint64
+	// Dense slices indexed by device id; a fault storm hammers these, so
+	// the hot path is an indexed add, not a map probe.
+	recordedBy  []uint64
+	overflowsBy []uint64
 
 	recordC    *stats.Counter
 	overflowC  *stats.Counter
 	reg        *stats.Registry
-	recordDevC map[int]*stats.Counter
-	overDevC   map[int]*stats.Counter
+	recordDevC []*stats.Counter
+	overDevC   []*stats.Counter
 }
 
 func (fq *FaultQueue) setStats(r *stats.Registry) {
@@ -59,19 +61,31 @@ func (fq *FaultQueue) setStats(r *stats.Registry) {
 
 // devCounter lazily creates the per-device flavour of a fault counter the
 // first time device dev faults. Caller holds the IOMMU mutex.
-func (fq *FaultQueue) devCounter(cache *map[int]*stats.Counter, name string, dev int) *stats.Counter {
-	if fq.reg == nil {
+func (fq *FaultQueue) devCounter(cache *[]*stats.Counter, name string, dev int) *stats.Counter {
+	if fq.reg == nil || dev < 0 {
 		return nil // nil-safe handle: stats not attached
 	}
-	if *cache == nil {
-		*cache = make(map[int]*stats.Counter)
+	for dev >= len(*cache) {
+		*cache = append(*cache, nil)
 	}
-	c, ok := (*cache)[dev]
-	if !ok {
+	c := (*cache)[dev]
+	if c == nil {
 		c = fq.reg.Counter("iommu", fmt.Sprintf("%s_dev%d", name, dev))
 		(*cache)[dev] = c
 	}
 	return c
+}
+
+// bumpDev adds one to the device's slot of a dense attribution slice,
+// growing it on first sight of the device. Caller holds the IOMMU mutex.
+func bumpDev(counts *[]uint64, dev int) {
+	if dev < 0 {
+		return
+	}
+	for dev >= len(*counts) {
+		*counts = append(*counts, 0)
+	}
+	(*counts)[dev]++
 }
 
 // push deposits a record, dropping it (and counting the overflow) when the
@@ -80,10 +94,7 @@ func (fq *FaultQueue) push(rec FaultRecord) {
 	if fq.count == FaultRecordDepth {
 		fq.Overflows++
 		fq.overflowC.Inc()
-		if fq.overflowsBy == nil {
-			fq.overflowsBy = make(map[int]uint64)
-		}
-		fq.overflowsBy[rec.Dev]++
+		bumpDev(&fq.overflowsBy, rec.Dev)
 		fq.devCounter(&fq.overDevC, "fault_overflows", rec.Dev).Inc()
 		return
 	}
@@ -92,10 +103,7 @@ func (fq *FaultQueue) push(rec FaultRecord) {
 	fq.count++
 	fq.Recorded++
 	fq.recordC.Inc()
-	if fq.recordedBy == nil {
-		fq.recordedBy = make(map[int]uint64)
-	}
-	fq.recordedBy[rec.Dev]++
+	bumpDev(&fq.recordedBy, rec.Dev)
 	fq.devCounter(&fq.recordDevC, "fault_records", rec.Dev).Inc()
 }
 
@@ -146,5 +154,11 @@ func (u *IOMMU) FaultQueueStats() (recorded, overflowed uint64) {
 func (u *IOMMU) DeviceFaultStats(dev int) (recorded, overflowed uint64) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	return u.fq.recordedBy[dev], u.fq.overflowsBy[dev]
+	if dev >= 0 && dev < len(u.fq.recordedBy) {
+		recorded = u.fq.recordedBy[dev]
+	}
+	if dev >= 0 && dev < len(u.fq.overflowsBy) {
+		overflowed = u.fq.overflowsBy[dev]
+	}
+	return recorded, overflowed
 }

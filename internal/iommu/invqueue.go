@@ -135,15 +135,37 @@ func (q *InvalidationQueue) Submit(cmd Command) error {
 // Drain executes every pending command in FIFO order and returns how many
 // ran. This is the "hardware" side; callers charge its latency separately
 // (perf.Model.IOTLBInvLatency per command).
+//
+// Adjacent range invalidations for the same device (each command starting
+// where the previous one ended — the pattern a scatter/gather unmap or a
+// chunk teardown produces) are coalesced into a single IOTLB walk. The
+// command count returned, Processed and the drain-batch histogram still
+// reflect the original commands; only the number of IOTLB flush operations
+// (the TLB's FlushCommands) shrinks, and the set of entries dropped is
+// identical because range invalidation is linear in its page span.
 func (q *InvalidationQueue) Drain() int {
 	n := 0
 	for q.count > 0 {
 		cmd := q.buf[q.head]
 		q.head = (q.head + 1) % InvQueueDepth
 		q.count--
-		q.execute(cmd)
 		n++
 		q.Processed++
+		if cmd.Kind == InvRange {
+			for q.count > 0 {
+				next := &q.buf[q.head]
+				if next.Kind != InvRange || next.Dev != cmd.Dev ||
+					next.Base != cmd.Base+IOVA(cmd.Size) {
+					break
+				}
+				cmd.Size += next.Size
+				q.head = (q.head + 1) % InvQueueDepth
+				q.count--
+				n++
+				q.Processed++
+			}
+		}
+		q.execute(cmd)
 	}
 	if n > 0 {
 		q.processedC.Add(uint64(n))

@@ -93,13 +93,41 @@ type Domain struct {
 
 	mappedPages int64 // currently mapped 4 KiB-equivalent pages
 	everMapped  int64 // cumulative (Fig 9's "ever touched" curve)
+
+	// Paging-structure cache (the VT-d PDE/PDPE cache analogue): walk
+	// memoizes the last leaf table (one 2 MiB window of 4 KiB ptes) and
+	// the last page directory (one 1 GiB window of level-1 entries), so
+	// consecutive translations within a buffer skip the radix descent.
+	// Host-side only: no simulated cost or state depends on it. Guarded
+	// by the IOMMU mutex like the tables themselves.
+	wcLeaf     *[ptFanout]pte
+	wcLeafBase IOVA // 2 MiB-aligned base covered by wcLeaf
+	wcDir      *[ptFanout]pte
+	wcDirBase  IOVA // 1 GiB-aligned base covered by wcDir
+}
+
+// dirCoverage is the IOVA span one level-1 table (page directory) covers.
+const dirCoverage = IOVA(hugeCoverage) << ptBits // 1 GiB
+
+// invalidateWalkCache drops the paging-structure memo. Required whenever a
+// table the memo may reference can be bypassed or dropped: MapHuge hides a
+// leaf table behind a huge leaf, and a detached domain dies wholesale.
+// Plain 4 KiB map/unmap only edits leaf ptes in place, so the memo'd
+// tables stay coherent across those.
+func (d *Domain) invalidateWalkCache() {
+	d.wcLeaf = nil
+	d.wcDir = nil
 }
 
 // IOMMU is the unit: domains plus the shared IOTLB and fault log.
 type IOMMU struct {
-	mu      sync.Mutex
-	mem     *mem.Memory
-	domains map[int]*Domain
+	mu  sync.Mutex
+	mem *mem.Memory
+	// domains is dense, indexed by device id (nil = not attached). Device
+	// ids are small integers (bus/device/function analogues), so a slice
+	// keeps the per-translation domain lookup a bounds check + load
+	// instead of a map probe on the hottest path in the simulator.
+	domains []*Domain
 	tlb     *IOTLB
 	invq    *InvalidationQueue
 	inj     *faults.Injector
@@ -114,8 +142,8 @@ type IOMMU struct {
 	Detaches     uint64 // domains torn down (quarantine / surprise removal)
 
 	// blockedBy attributes blocked DMAs to their source device, so a fault
-	// storm is attributable to one fault domain.
-	blockedBy map[int]uint64
+	// storm is attributable to one fault domain (dense, indexed by dev).
+	blockedBy []uint64
 
 	// Observability (nil-safe handles; see SetStats).
 	reg         *stats.Registry
@@ -124,7 +152,15 @@ type IOMMU struct {
 	transC      *stats.Counter
 	blockedC    *stats.Counter
 	detachC     *stats.Counter
-	blockedDevC map[int]*stats.Counter
+	blockedDevC []*stats.Counter
+}
+
+// domain returns the attached domain for dev, or nil. Caller holds u.mu.
+func (u *IOMMU) domain(dev int) *Domain {
+	if dev < 0 || dev >= len(u.domains) {
+		return nil
+	}
+	return u.domains[dev]
 }
 
 // SetStats attaches a metrics registry to the IOMMU and its IOTLB and
@@ -158,10 +194,9 @@ func (u *IOMMU) SetFaults(inj *faults.Injector) {
 func New(m *mem.Memory) *IOMMU {
 	tlb := NewIOTLB(DefaultIOTLBConfig())
 	return &IOMMU{
-		mem:     m,
-		domains: make(map[int]*Domain),
-		tlb:     tlb,
-		invq:    NewInvalidationQueue(tlb),
+		mem:  m,
+		tlb:  tlb,
+		invq: NewInvalidationQueue(tlb),
 	}
 }
 
@@ -173,12 +208,19 @@ func (u *IOMMU) TLB() *IOTLB { return u.tlb }
 // invalidations flow (§3).
 func (u *IOMMU) InvQ() *InvalidationQueue { return u.invq }
 
-// AttachDevice creates (or returns) the domain for a device.
+// AttachDevice creates (or returns) the domain for a device. Device ids
+// must be non-negative.
 func (u *IOMMU) AttachDevice(dev int) *Domain {
+	if dev < 0 {
+		panic(fmt.Sprintf("iommu: attach of negative device id %d", dev))
+	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	d, ok := u.domains[dev]
-	if !ok {
+	for dev >= len(u.domains) {
+		u.domains = append(u.domains, nil)
+	}
+	d := u.domains[dev]
+	if d == nil {
 		d = &Domain{Dev: dev}
 		u.domains[dev] = d
 	}
@@ -199,11 +241,12 @@ func (u *IOMMU) AttachDevice(dev int) *Domain {
 func (u *IOMMU) DetachDevice(dev int) (abandonedPages int64, ok bool) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	d := u.domains[dev]
+	d := u.domain(dev)
 	if d == nil {
 		return 0, false
 	}
-	delete(u.domains, dev)
+	d.invalidateWalkCache()
+	u.domains[dev] = nil
 	u.Detaches++
 	u.detachC.Inc()
 	return d.mappedPages, true
@@ -213,14 +256,14 @@ func (u *IOMMU) DetachDevice(dev int) (abandonedPages int64, ok bool) {
 func (u *IOMMU) Attached(dev int) bool {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	return u.domains[dev] != nil
+	return u.domain(dev) != nil
 }
 
 // Domain returns the domain for dev, or nil.
 func (u *IOMMU) Domain(dev int) *Domain {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	return u.domains[dev]
+	return u.domain(dev)
 }
 
 // Faults returns a copy of the fault log.
@@ -256,7 +299,7 @@ func (u *IOMMU) Map(dev int, iova IOVA, pa mem.PhysAddr, size int, perm Perm) er
 	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	d := u.domains[dev]
+	d := u.domain(dev)
 	if d == nil {
 		return fmt.Errorf("iommu: device %d not attached", dev)
 	}
@@ -289,10 +332,13 @@ func (u *IOMMU) MapHuge(dev int, iova IOVA, pa mem.PhysAddr, perm Perm) error {
 	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	d := u.domains[dev]
+	d := u.domain(dev)
 	if d == nil {
 		return fmt.Errorf("iommu: device %d not attached", dev)
 	}
+	// A huge leaf can hide an existing (empty) leaf table behind it, which
+	// the memo might still reference — drop the memo before installing.
+	d.invalidateWalkCache()
 	e := d.walkHuge(iova, true)
 	if e.present {
 		return fmt.Errorf("iommu: huge iova %#x already mapped", iova)
@@ -319,7 +365,7 @@ func (u *IOMMU) Unmap(dev int, iova IOVA, size int) error {
 	}
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	d := u.domains[dev]
+	d := u.domain(dev)
 	if d == nil {
 		return fmt.Errorf("iommu: device %d not attached", dev)
 	}
@@ -330,6 +376,8 @@ func (u *IOMMU) Unmap(dev int, iova IOVA, size int) error {
 		if e == nil || !e.present {
 			return fmt.Errorf("iommu: unmap of unmapped iova %#x", va)
 		}
+		// Clearing a leaf pte in place keeps the memo'd tables coherent;
+		// no walk-cache invalidation needed here.
 		*e = pte{}
 	}
 	d.mappedPages -= int64(pages)
@@ -342,7 +390,7 @@ func (u *IOMMU) Unmap(dev int, iova IOVA, size int) error {
 func (u *IOMMU) UnmapHuge(dev int, iova IOVA) error {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	d := u.domains[dev]
+	d := u.domain(dev)
 	if d == nil {
 		return fmt.Errorf("iommu: device %d not attached", dev)
 	}
@@ -350,6 +398,7 @@ func (u *IOMMU) UnmapHuge(dev int, iova IOVA) error {
 	if e == nil || !e.present || !e.huge {
 		return fmt.Errorf("iommu: huge unmap of unmapped iova %#x", iova)
 	}
+	d.invalidateWalkCache()
 	*e = pte{}
 	d.mappedPages -= int64(mem.HugePageSize / mem.PageSize)
 	u.Unmappings++
@@ -360,9 +409,22 @@ func (u *IOMMU) UnmapHuge(dev int, iova IOVA) error {
 // walk descends to the leaf pte for iova, allocating interior nodes when
 // create is set. Returns nil if a level is missing and create is false.
 // Caller holds u.mu.
+//
+// The paging-structure cache short-circuits the descent: a hit on the leaf
+// memo resolves in one index, a hit on the directory memo skips the top two
+// levels. Both memos are (re)warmed by full descents only, so a memoized
+// leaf table is never shadowed by a huge leaf (MapHuge invalidates).
 func (d *Domain) walk(iova IOVA, create bool) *pte {
+	if d.wcLeaf != nil && iova&^IOVA(hugeCoverage-1) == d.wcLeafBase {
+		return &d.wcLeaf[indexAt(iova, 0)]
+	}
 	table := &d.root
-	for level := ptLevels - 1; level > 0; level-- {
+	level := ptLevels - 1
+	if d.wcDir != nil && iova&^(dirCoverage-1) == d.wcDirBase {
+		table = d.wcDir
+		level = hugeLevel
+	}
+	for ; level > 0; level-- {
 		e := &table[indexAt(iova, level)]
 		if e.present && e.huge {
 			// A huge leaf occupies this slot; 4 KiB walk stops here.
@@ -374,13 +436,22 @@ func (d *Domain) walk(iova IOVA, create bool) *pte {
 			}
 			e.children = new([ptFanout]pte)
 		}
+		if level == hugeLevel+1 {
+			d.wcDir = e.children
+			d.wcDirBase = iova &^ (dirCoverage - 1)
+		}
 		table = e.children
 	}
+	d.wcLeaf = table
+	d.wcLeafBase = iova &^ IOVA(hugeCoverage-1)
 	return &table[indexAt(iova, 0)]
 }
 
 // walkHuge descends to the level-1 slot that would hold a 2 MiB leaf.
 func (d *Domain) walkHuge(iova IOVA, create bool) *pte {
+	if d.wcDir != nil && iova&^(dirCoverage-1) == d.wcDirBase {
+		return &d.wcDir[indexAt(iova, hugeLevel)]
+	}
 	table := &d.root
 	for level := ptLevels - 1; level > hugeLevel; level-- {
 		e := &table[indexAt(iova, level)]
@@ -389,6 +460,10 @@ func (d *Domain) walkHuge(iova IOVA, create bool) *pte {
 				return nil
 			}
 			e.children = new([ptFanout]pte)
+		}
+		if level == hugeLevel+1 {
+			d.wcDir = e.children
+			d.wcDirBase = iova &^ (dirCoverage - 1)
 		}
 		table = e.children
 	}
@@ -416,7 +491,7 @@ func (d *Domain) lookup(iova IOVA) (mem.PhysAddr, Perm, bool) {
 func (u *IOMMU) MappedPages(dev int) int64 {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	if d := u.domains[dev]; d != nil {
+	if d := u.domain(dev); d != nil {
 		return d.mappedPages
 	}
 	return 0
@@ -427,7 +502,7 @@ func (u *IOMMU) MappedPages(dev int) int64 {
 func (u *IOMMU) EverMappedPages(dev int) int64 {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	if d := u.domains[dev]; d != nil {
+	if d := u.domain(dev); d != nil {
 		return d.everMapped
 	}
 	return 0

@@ -1,0 +1,99 @@
+package mem
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Backing pool: machines are built and discarded by the dozen per
+// experiment run, and the dominant host cost of each construction is the
+// Go runtime zeroing the (hundreds of MiB, mostly never touched) data
+// array. Memory tracks which 256 KiB granules it ever exposed through
+// Bytes, and Release parks the array here; the next New of the same size
+// scrubs only those granules. A recycled backing is therefore
+// byte-for-byte indistinguishable from a fresh make([]byte, n) — reuse is
+// a host-side optimisation with no simulated effect.
+
+const (
+	// granuleShift covers 64 pages (256 KiB) per dirty bit: coarse enough
+	// that marking in Bytes is one or two word ORs for any ordinary span,
+	// fine enough that a machine which touched 1% of RAM scrubs ~1% of it.
+	granuleShift = PageShift + 6
+	granuleSize  = 1 << granuleShift
+)
+
+// backingBudget bounds the pool's total held bytes (host memory only);
+// beyond it, released arrays are simply dropped for the GC.
+const backingBudget = 4 << 30
+
+var backingPool struct {
+	mu    sync.Mutex
+	free  map[int][]backing // keyed by len(data)
+	bytes int
+}
+
+type backing struct {
+	data  []byte
+	dirty []uint64
+}
+
+// takeBacking returns a zeroed data array of the given size plus its dirty
+// bitmap, recycling a pooled pair when one fits.
+func takeBacking(size int) ([]byte, []uint64) {
+	backingPool.mu.Lock()
+	list := backingPool.free[size]
+	if n := len(list); n > 0 {
+		b := list[n-1]
+		list[n-1] = backing{}
+		backingPool.free[size] = list[:n-1]
+		backingPool.bytes -= size
+		backingPool.mu.Unlock()
+		scrub(b)
+		return b.data, b.dirty
+	}
+	backingPool.mu.Unlock()
+	nGranules := (size + granuleSize - 1) >> granuleShift
+	return make([]byte, size), make([]uint64, (nGranules+63)/64)
+}
+
+// scrub re-zeroes exactly the granules the previous owner dirtied and
+// resets the bitmap.
+func scrub(b backing) {
+	size := len(b.data)
+	for wi, w := range b.dirty {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &^= 1 << bit
+			lo := (wi*64 + bit) << granuleShift
+			hi := lo + granuleSize
+			if hi > size {
+				hi = size
+			}
+			clear(b.data[lo:hi])
+		}
+		b.dirty[wi] = 0
+	}
+}
+
+// Release parks the data array in the backing pool for the next Memory of
+// the same size. The Memory must not be used afterwards: any surviving
+// accessor panics on the nil data array, so a use-after-release is loud.
+// Release is optional — an un-released Memory is simply collected by the
+// GC — and idempotent.
+func (m *Memory) Release() {
+	if m.data == nil {
+		return
+	}
+	data, dirty := m.data, m.dirty
+	m.data, m.dirty = nil, nil
+	backingPool.mu.Lock()
+	defer backingPool.mu.Unlock()
+	if backingPool.bytes+len(data) > backingBudget {
+		return
+	}
+	if backingPool.free == nil {
+		backingPool.free = make(map[int][]backing)
+	}
+	backingPool.free[len(data)] = append(backingPool.free[len(data)], backing{data, dirty})
+	backingPool.bytes += len(data)
+}

@@ -22,6 +22,13 @@ type Memory struct {
 	pages []Page
 	zones []*Zone
 
+	// dirty is a host-side bitmap of 256 KiB granules that Bytes has ever
+	// exposed. It exists purely so Release can hand the (large, mostly
+	// untouched) data array to the backing pool and the next Memory of the
+	// same size can scrub only the granules this one touched, instead of
+	// paying a full memclr at construction. It has no simulated meaning.
+	dirty []uint64
+
 	// Counters for the evaluation harness (Fig 9 / Fig 10).
 	allocatedPages atomic.Int64
 	zeroedBytes    atomic.Int64
@@ -65,8 +72,10 @@ func New(cfg Config) (*Memory, error) {
 	if nPages < cfg.NUMANodes*2 {
 		return nil, fmt.Errorf("mem: %d bytes is too small for %d NUMA nodes", cfg.TotalBytes, cfg.NUMANodes)
 	}
+	data, dirty := takeBacking(nPages << PageShift)
 	m := &Memory{
-		data:  make([]byte, nPages<<PageShift),
+		data:  data,
+		dirty: dirty,
 		pages: make([]Page, nPages),
 		zones: make([]*Zone, cfg.NUMANodes),
 	}
@@ -118,10 +127,20 @@ func (m *Memory) CheckRange(pa PhysAddr, n int) error {
 }
 
 // Bytes returns the live byte slice backing [pa, pa+n). Callers are kernel
-// code or post-IOMMU device accesses; bounds are enforced.
+// code or post-IOMMU device accesses; bounds are enforced. Every exposure
+// marks the covered granules dirty — the slice is mutable, so this is the
+// single choke point the backing pool relies on to know what needs
+// scrubbing on reuse (see Release).
 func (m *Memory) Bytes(pa PhysAddr, n int) []byte {
 	if err := m.CheckRange(pa, n); err != nil {
 		panic(err)
+	}
+	if n > 0 {
+		g0 := uint64(pa) >> granuleShift
+		g1 := (uint64(pa) + uint64(n) - 1) >> granuleShift
+		for g := g0; g <= g1; g++ {
+			m.dirty[g>>6] |= 1 << (g & 63)
+		}
 	}
 	return m.data[pa:PhysAddr(uint64(pa)+uint64(n))]
 }
@@ -140,10 +159,7 @@ func (m *Memory) Write(pa PhysAddr, src []byte) int {
 // allocator (§5.6 TX security argument), and the counter lets tests assert
 // that it really happened.
 func (m *Memory) Zero(pa PhysAddr, n int) {
-	b := m.Bytes(pa, n)
-	for i := range b {
-		b[i] = 0
-	}
+	clear(m.Bytes(pa, n))
 	m.zeroedBytes.Add(int64(n))
 }
 

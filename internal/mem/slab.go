@@ -23,6 +23,12 @@ type Slab struct {
 	largeOrders map[PFN]int
 	// pagesByPFN lets Free recover the slabPage from an object address.
 	pagesByPFN map[PFN]*slabPage
+	// spare recycles slabPage records (and their free-index capacity).
+	// A short-lived object on an otherwise-empty page releases and
+	// recreates its page every cycle — that page traffic is simulated
+	// behaviour and stays; the host-side bookkeeping struct behind it
+	// need not churn the Go heap. Bounded so a burst cannot pin memory.
+	spare []*slabPage
 
 	bytesAllocated int64
 }
@@ -116,7 +122,15 @@ func (s *Slab) newSlabPage(objSize, node int) (*slabPage, error) {
 	}
 	head.SetFlags(FlagSlab)
 	n := PageSize / objSize
-	sp := &slabPage{head: head, objSize: objSize, nObjects: n}
+	var sp *slabPage
+	if k := len(s.spare); k > 0 {
+		sp = s.spare[k-1]
+		s.spare = s.spare[:k-1]
+		sp.head, sp.objSize, sp.nObjects, sp.inUse = head, objSize, n, 0
+		sp.free = sp.free[:0]
+	} else {
+		sp = &slabPage{head: head, objSize: objSize, nObjects: n}
+	}
 	for i := n - 1; i >= 0; i-- {
 		sp.free = append(sp.free, i)
 	}
@@ -173,6 +187,10 @@ func (s *Slab) Free(pa PhysAddr) {
 		sp.head.ClearFlags(FlagSlab)
 		sp.head.Private = 0
 		s.mem.FreePages(sp.head, 0)
+		if len(s.spare) < 128 {
+			sp.head = nil
+			s.spare = append(s.spare, sp)
+		}
 		return
 	}
 	if wasFull {

@@ -31,6 +31,11 @@ type Driver struct {
 	// segment per buffer).
 	RxBufSize int
 
+	// freeBufs recycles rxBuf cookie records; each record's ring life has
+	// exactly one terminal point (delivery, drop, reclaim), where it
+	// returns to the pool.
+	freeBufs []*rxBuf
+
 	// OnDeliver is the stack entry point for received skbs.
 	OnDeliver func(t *sim.Task, ring int, skb *SKBuff)
 	// OnTxDone notifies the sending flow that a segment left the wire
@@ -120,6 +125,20 @@ func (d *Driver) FillRing(t *sim.Task, ring int) error {
 	return nil
 }
 
+func (d *Driver) getRXBuf() *rxBuf {
+	if n := len(d.freeBufs); n > 0 {
+		rb := d.freeBufs[n-1]
+		d.freeBufs = d.freeBufs[:n-1]
+		return rb
+	}
+	return &rxBuf{}
+}
+
+func (d *Driver) putRXBuf(rb *rxBuf) {
+	*rb = rxBuf{}
+	d.freeBufs = append(d.freeBufs, rb)
+}
+
 func (d *Driver) postOne(t *sim.Task, ring int) error {
 	perf.Charge(t, d.k.Model.SkbAllocCycles)
 	pa, damnOwned, err := d.k.AllocBuffer(t, d.nic.ID(), iommu.PermWrite, d.RxBufSize)
@@ -131,10 +150,9 @@ func (d *Driver) postOne(t *sim.Task, ring int) error {
 		d.k.FreeBuffer(t, pa, damnOwned)
 		return fmt.Errorf("netstack: RX buffer map: %w", err)
 	}
-	return d.nic.PostRX(ring, device.RXDesc{
-		IOVA: v, Size: d.RxBufSize,
-		Cookie: &rxBuf{pa: pa, iova: v, damn: damnOwned, epoch: d.epoch},
-	})
+	rb := d.getRXBuf()
+	rb.pa, rb.iova, rb.damn, rb.epoch = pa, v, damnOwned, d.epoch
+	return d.nic.PostRX(ring, device.RXDesc{IOVA: v, Size: d.RxBufSize, Cookie: rb})
 }
 
 // reclaimBuf returns a buffer whose ring life is over to the kernel:
@@ -172,6 +190,7 @@ func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 			d.RxDropped++
 			d.rxDropC.Inc()
 			d.reclaimBuf(t, rb)
+			d.putRXBuf(rb)
 			continue
 		}
 		// dma_unmap returns ownership to the kernel. For shadow
@@ -193,6 +212,7 @@ func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 			}
 			d.RxDropped++
 			d.rxDropC.Inc()
+			d.putRXBuf(rb)
 			if err := d.postOne(t, ring); err != nil {
 				d.shortfall[ring]++ // watchdog restores it
 			}
@@ -214,6 +234,7 @@ func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 			_ = d.k.FreeBuffer(t, rb.pa, rb.damn)
 			d.RxDropped++
 			d.rxDropC.Inc()
+			d.putRXBuf(rb)
 			continue
 		}
 		if comp.BadCSum {
@@ -224,11 +245,13 @@ func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 			d.rxCsumC.Inc()
 			d.RxDropped++
 			d.rxDropC.Inc()
+			d.putRXBuf(rb)
 			continue
 		}
 		skb := AdoptBuffer(d.k, d.nic.ID(), iommu.PermWrite, rb.pa, d.RxBufSize, rb.damn)
 		skb.SetReceived(comp.Seg.Len, comp.Written)
 		skb.Flow = comp.Seg.Flow
+		d.putRXBuf(rb)
 		d.RxDelivered++
 		d.rxDelivC.Inc()
 		if d.OnDeliver != nil {
@@ -333,6 +356,7 @@ func (d *Driver) QuarantineDrain(t *sim.Task) (reclaimed, leaked, parkedDropped 
 		} else {
 			leaked++
 		}
+		d.putRXBuf(rb)
 	}
 	// The deficit described a ring that no longer exists; Reinit refills
 	// from scratch.

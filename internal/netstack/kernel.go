@@ -36,8 +36,48 @@ type Kernel struct {
 
 	Netfilter Netfilter
 
+	// Free lists recycling SKBuff structs and user-copy destination
+	// buffers (host Go memory only — the simulated slab/DAMN memory
+	// behind an skb is always released before the struct is recycled, so
+	// pooling changes no simulated allocation counts or figure output).
+	freeSKBs []*SKBuff
+	userBufs [][]byte
+
 	// Observability (nil-safe handle; see SetStats).
 	freeErrC *stats.Counter
+}
+
+// getSKB pops a recycled SKBuff (or allocates the pool's first); every
+// field is reset to the zero state before the caller initialises it.
+func (k *Kernel) getSKB() *SKBuff {
+	if n := len(k.freeSKBs); n > 0 {
+		s := k.freeSKBs[n-1]
+		k.freeSKBs = k.freeSKBs[:n-1]
+		*s = SKBuff{k: k}
+		return s
+	}
+	return &SKBuff{k: k}
+}
+
+// getUserBuf pops a length-n user-copy destination from the pool when the
+// top buffer is big enough; the caller owns the contents entirely (every
+// byte of [0, n) is overwritten or zeroed by CopyToUser).
+func (k *Kernel) getUserBuf(n int) []byte {
+	if m := len(k.userBufs); m > 0 && cap(k.userBufs[m-1]) >= n {
+		b := k.userBufs[m-1]
+		k.userBufs = k.userBufs[:m-1]
+		return b[:n]
+	}
+	return make([]byte, n)
+}
+
+// putUserBuf returns a user-copy buffer; the pool is bounded so a burst of
+// oversized copies cannot pin memory forever.
+func (k *Kernel) putUserBuf(b []byte) {
+	if cap(b) == 0 || len(k.userBufs) >= 1024 {
+		return
+	}
+	k.userBufs = append(k.userBufs, b[:0])
 }
 
 // SetStats attaches a metrics registry for kernel-level error accounting.

@@ -51,6 +51,11 @@ type SKBuff struct {
 
 	freed bool
 
+	// userBuf is the pooled CopyToUser destination recorded for recycling
+	// when the skb is freed (first copy only; callers never use the slice
+	// past the skb's lifetime).
+	userBuf []byte
+
 	// Flow tags the TCP flow the segment belongs to (demux key).
 	Flow int
 	// Owner carries the sending endpoint through the TX ring for
@@ -75,10 +80,10 @@ func AllocSKB(k *Kernel, t *sim.Task, dev int, size int, rx bool) (*SKBuff, erro
 	if err != nil {
 		return nil, err
 	}
-	return &SKBuff{
-		k: k, Dev: dev, Rights: rights,
-		headPA: pa, headCap: size, damnHead: damnOwned,
-	}, nil
+	s := k.getSKB()
+	s.Dev, s.Rights = dev, rights
+	s.headPA, s.headCap, s.damnHead = pa, size, damnOwned
+	return s, nil
 }
 
 // DmaAllocSKB is the new dma_alloc_skb entry point of §5.7 for DAMN-aware
@@ -105,17 +110,20 @@ func AllocSKBPageCache(k *Kernel, t *sim.Task, dev int, size int) (*SKBuff, erro
 	if err != nil {
 		return nil, err
 	}
-	return &SKBuff{
-		k: k, Dev: dev, Rights: iommu.PermRead,
-		headPA: pa, headCap: size, damnHead: false,
-	}, nil
+	s := k.getSKB()
+	s.Dev, s.Rights = dev, iommu.PermRead
+	s.headPA, s.headCap = pa, size
+	return s, nil
 }
 
 // AdoptBuffer builds an skb around an existing raw buffer (the driver's RX
 // completion path: the buffer was allocated and posted before the packet
 // arrived).
 func AdoptBuffer(k *Kernel, dev int, rights iommu.Perm, pa mem.PhysAddr, capacity int, damnOwned bool) *SKBuff {
-	return &SKBuff{k: k, Dev: dev, Rights: rights, headPA: pa, headCap: capacity, damnHead: damnOwned}
+	s := k.getSKB()
+	s.Dev, s.Rights = dev, rights
+	s.headPA, s.headCap, s.damnHead = pa, capacity, damnOwned
+	return s
 }
 
 // Len returns the logical payload length.
@@ -221,7 +229,12 @@ func (s *SKBuff) CopyToUser(t *sim.Task, n int) []byte {
 	if n <= 0 {
 		return nil
 	}
-	user := make([]byte, n)
+	user := s.k.getUserBuf(n)
+	if s.userBuf == nil {
+		// Recorded for recycling when the skb is freed; a second copy on
+		// the same skb (never on the data path) is simply left to the GC.
+		s.userBuf = user
+	}
 	fromSafe := s.safeLen
 	if fromSafe > n {
 		fromSafe = n
@@ -229,6 +242,7 @@ func (s *SKBuff) CopyToUser(t *sim.Task, n int) []byte {
 	if fromSafe > 0 {
 		copy(user, s.k.Mem.Bytes(s.safePA, fromSafe))
 	}
+	filled := fromSafe
 	if n > fromSafe {
 		// Copy only what is materialised; the logical remainder reads
 		// as zeroes (throughput runs don't materialise payloads).
@@ -238,8 +252,12 @@ func (s *SKBuff) CopyToUser(t *sim.Task, n int) []byte {
 		}
 		if end > fromSafe {
 			copy(user[fromSafe:], s.k.Mem.Bytes(s.headPA+mem.PhysAddr(fromSafe), end-fromSafe))
+			filled = end
 		}
 	}
+	// A recycled buffer carries the previous copy's bytes; the
+	// unmaterialised tail must still read as zeroes.
+	clear(user[filled:])
 	perf.CPUCopy(t, s.k.MemBW, n, s.k.Model.CopyCyclesPerByte, s.k.Model.CopyMemFraction)
 	return user
 }
@@ -298,7 +316,14 @@ func (s *SKBuff) Free(t *sim.Task) {
 		s.k.Slab.Free(s.safePA)
 		s.safePA = 0
 	}
+	if s.userBuf != nil {
+		s.k.putUserBuf(s.userBuf)
+		s.userBuf = nil
+	}
 	// A failed free quarantines the buffer inside FreeBuffer; the skb
 	// itself is gone either way.
 	_ = s.k.FreeBuffer(t, s.headPA, s.damnHead)
+	// The struct goes back to the pool still marked freed, so a stale
+	// double free keeps panicking until the slot is reused.
+	s.k.freeSKBs = append(s.k.freeSKBs, s)
 }

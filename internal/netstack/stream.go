@@ -83,6 +83,9 @@ type Sender struct {
 	inFlight int
 	pumping  bool
 	stopped  bool
+	// pumpFn is the pump task closure, bound once on first use so window
+	// refills don't allocate.
+	pumpFn func(*sim.Task)
 
 	// DebugPumps counts pump task executions (test instrumentation).
 	DebugPumps uint64
@@ -119,11 +122,14 @@ func (s *Sender) schedulePump() {
 		return
 	}
 	s.pumping = true
-	s.Core.Submit(false, func(t *sim.Task) {
-		s.pumping = false
-		s.DebugPumps++
-		s.pump(t)
-	})
+	if s.pumpFn == nil {
+		s.pumpFn = func(t *sim.Task) {
+			s.pumping = false
+			s.DebugPumps++
+			s.pump(t)
+		}
+	}
+	s.Core.Submit(false, s.pumpFn)
 }
 
 // pump fills the window; it runs as an application/syscall task.

@@ -18,10 +18,18 @@ type Core struct {
 	// server runs 2 GHz Broadwell cores).
 	Hz float64
 
-	freeAt  Time
-	busy    Time
+	freeAt Time
+	busy   Time
+	// queue is the FIFO run queue: qhead indexes the next task so popping
+	// is O(1) without shifting; the slice resets when it drains, keeping
+	// one backing array alive for the core's lifetime.
 	queue   []*Task
+	qhead   int
 	running bool
+	// free recycles Task structs (and their bound dispatch closures) the
+	// same way the engine recycles events: tasks live exactly one
+	// dispatch, so the steady state allocates nothing per submission.
+	free []*Task
 }
 
 // NewCore creates a core attached to the engine.
@@ -42,7 +50,7 @@ func (c *Core) Busy() Time { return c.busy }
 
 // QueueLen returns the number of tasks waiting or running on the core.
 func (c *Core) QueueLen() int {
-	n := len(c.queue)
+	n := len(c.queue) - c.qhead
 	if c.running {
 		n++
 	}
@@ -63,6 +71,10 @@ type Task struct {
 	cycles float64
 	stall  Time // non-cycle charged time (resource waits)
 	fn     func(*Task)
+	// run is the dispatch-event callback, bound once when the Task struct
+	// is first created and reused across recycles — the per-dispatch
+	// closure would otherwise be an allocation per submitted task.
+	run func()
 }
 
 // Core returns the core the task runs on.
@@ -110,44 +122,70 @@ func (t *Task) Elapsed() Time {
 
 // Submit enqueues fn as a task on the core. Tasks run FIFO; fn executes at
 // the task's start time and may submit further work or schedule events.
+// Task structs are recycled; callbacks must not retain the *Task beyond
+// their own execution (charging after completion would be a bug anyway —
+// the core's clock already advanced past the task).
 func (c *Core) Submit(interrupt bool, fn func(*Task)) {
-	t := &Task{core: c, Interrupt: interrupt, fn: fn}
+	var t *Task
+	if n := len(c.free); n > 0 {
+		t = c.free[n-1]
+		c.free = c.free[:n-1]
+		t.Interrupt = interrupt
+		t.start = 0
+		t.cycles = 0
+		t.stall = 0
+		t.fn = fn
+	} else {
+		t = &Task{core: c, Interrupt: interrupt, fn: fn}
+		t.run = func() { t.core.execute(t) }
+	}
 	c.queue = append(c.queue, t)
 	c.dispatch()
 }
 
 // dispatch starts the next queued task when the core is free.
 func (c *Core) dispatch() {
-	if c.running || len(c.queue) == 0 {
+	if c.running || c.qhead == len(c.queue) {
 		return
 	}
-	t := c.queue[0]
-	c.queue = c.queue[1:]
+	t := c.queue[c.qhead]
+	c.queue[c.qhead] = nil
+	c.qhead++
+	if c.qhead == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qhead = 0
+	}
 	c.running = true
 	at := c.freeAt
 	if now := c.eng.Now(); at < now {
 		at = now
 	}
-	c.eng.At(at, func() {
-		t.start = c.eng.Now()
-		t.fn(t)
-		d := t.Elapsed()
-		c.busy += d
-		c.freeAt = t.start + d
-		c.running = false
+	c.eng.At(at, t.run)
+}
+
+// execute runs one dispatched task at its start time, accounts its elapsed
+// time, recycles the Task struct and starts the next queued task.
+func (c *Core) execute(t *Task) {
+	t.start = c.eng.Now()
+	t.fn(t)
+	d := t.Elapsed()
+	c.busy += d
+	c.freeAt = t.start + d
+	c.running = false
+	if t.Interrupt {
+		c.eng.irqCount.Inc()
+	} else {
+		c.eng.taskCount.Inc()
+	}
+	c.eng.taskHist.Observe(float64(d))
+	if tr := c.eng.tracer; tr != nil {
+		name := "task"
 		if t.Interrupt {
-			c.eng.irqCount.Inc()
-		} else {
-			c.eng.taskCount.Inc()
+			name = "irq"
 		}
-		c.eng.taskHist.Observe(float64(d))
-		if tr := c.eng.tracer; tr != nil {
-			name := "task"
-			if t.Interrupt {
-				name = "irq"
-			}
-			tr.Span(c.eng.tracePID, c.ID, name, "core", int64(t.start), int64(d))
-		}
-		c.dispatch()
-	})
+		tr.Span(c.eng.tracePID, c.ID, name, "core", int64(t.start), int64(d))
+	}
+	t.fn = nil
+	c.free = append(c.free, t)
+	c.dispatch()
 }

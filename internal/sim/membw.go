@@ -27,6 +27,9 @@ type MemController struct {
 	winBytes float64
 	rho      float64
 	used     float64
+	// tickFn is the rollover callback bound once; passing the method
+	// value directly would allocate a fresh closure on every re-arm.
+	tickFn func()
 }
 
 // NewMemController builds a controller with the given capacity. Attach an
@@ -66,7 +69,10 @@ func (m *MemController) arm() {
 	}
 	m.armed = true
 	m.winStart = m.eng.Now()
-	m.eng.After(m.Window, m.tick)
+	if m.tickFn == nil {
+		m.tickFn = m.tick
+	}
+	m.eng.After(m.Window, m.tickFn)
 }
 
 // tick closes the window on the engine clock.
