@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet staticcheck build test race race-full alloc-gate bench bench-go chaos recovery ci
+.PHONY: all fmt vet staticcheck build test race race-full alloc-gate bench bench-go chaos recovery scaling ci
 
 all: build
 
@@ -43,12 +43,16 @@ race-full:
 alloc-gate:
 	$(GO) test -run 'ZeroAlloc' -count=1 .
 
-# bench regenerates BENCH_PR5.json: engine event-loop microbenchmarks
-# (ns/op, allocs/op — the 0-alloc hot paths are regression-gated) plus the
-# quick-suite wall clock at -parallel 1 vs GOMAXPROCS with the speedup and a
-# byte-identity check between the two runs.
+# bench regenerates BENCH_PR6.json: engine event-loop microbenchmarks
+# (ns/op, allocs/op — the 0-alloc hot paths are regression-gated), the RSS
+# scale-out grid with its monotone-growth gates, plus the quick-suite wall
+# clock at -parallel 1 vs the parallel leg with the speedup and a
+# byte-identity check between the two runs. benchreport refuses to capture
+# at gomaxprocs 1; on a single-CPU host this target oversubscribes to two
+# timesliced Ps so the report still records a genuine two-worker leg.
 bench:
-	$(GO) run ./cmd/benchreport -out BENCH_PR5.json
+	@p=$$(nproc); [ $$p -ge 2 ] || p=2; \
+	set -x; $(GO) run ./cmd/benchreport -out BENCH_PR6.json -procs $$p -parallel $$p
 
 # bench-go runs the full go-test benchmark tiers: data-structure micro
 # benchmarks, engine micro benchmarks, one macro benchmark per paper figure,
@@ -69,4 +73,12 @@ recovery:
 	$(GO) test -race -short -timeout 15m -run 'Recovery|UnmapFailure' \
 		./internal/workloads/... ./internal/experiments/...
 
-ci: fmt vet build race chaos recovery
+# The RSS scale-out figure (quick mode) under the race detector, plus the
+# scaling determinism tests: Gb/s must grow with simulated core count and
+# ring placement must be identical across runs and -parallel settings.
+scaling:
+	$(GO) run -race ./cmd/damnbench -quick -exp scaling
+	$(GO) test -race -timeout 10m -run 'TestScaling|TestNAPIRunsOnRingCore|TestRXPathZeroAllocMultiRing' \
+		./internal/experiments/... ./internal/netstack/... .
+
+ci: fmt vet build race chaos recovery scaling

@@ -98,7 +98,7 @@ func TestRXPathZeroAlloc(t *testing.T) {
 	}
 	hdr := []byte("hdr:steady")
 	inject := func() {
-		ma.NIC.InjectRX(0, 0, device.Segment{Flow: 1, Len: 9000, Header: hdr})
+		ma.NIC.InjectRX(0, device.Segment{Flow: 1, Len: 9000, Header: hdr})
 		ma.Sim.RunUntilIdle()
 	}
 	for i := 0; i < 200; i++ {
@@ -109,5 +109,50 @@ func TestRXPathZeroAlloc(t *testing.T) {
 	}
 	if recv.Segments < 700 {
 		t.Fatalf("receiver saw %d segments; the path under test did not run", recv.Segments)
+	}
+}
+
+// TestRXPathZeroAllocMultiRing extends the gate to RSS fan-out: four rings,
+// each bound to its own core and DAMN shard, with every iteration pushing
+// one segment through every ring. The per-queue completion/refill paths
+// (and the hash → indirection-table steering itself) must stay
+// allocation-free too.
+func TestRXPathZeroAllocMultiRing(t *testing.T) {
+	ma, err := testbed.NewMachine(testbed.MachineConfig{
+		Scheme:   testbed.SchemeDAMN,
+		MemBytes: 256 << 20,
+		Cores:    4, // Rings == Cores: 4 RX queues
+		RingSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := &netstack.Receiver{K: ma.Kernel}
+	ma.Driver.OnDeliver = func(task *sim.Task, ring int, skb *netstack.SKBuff) {
+		recv.HandleSegment(task, skb)
+	}
+	if err := ma.FillAllRings(); err != nil {
+		t.Fatal(err)
+	}
+	hdr := []byte("hdr:steady")
+	inject := func() {
+		// The default indirection table is i % Rings over 128 slots, so
+		// hash h < 4 selects ring h: one segment per ring per iteration.
+		for h := uint32(0); h < 4; h++ {
+			ma.NIC.InjectRX(0, device.Segment{Flow: int(h) + 1, Hash: h, Len: 9000, Header: hdr})
+		}
+		ma.Sim.RunUntilIdle()
+	}
+	for i := 0; i < 200; i++ {
+		inject()
+	}
+	if allocs := testing.AllocsPerRun(500, inject); allocs != 0 {
+		t.Fatalf("multi-ring RX path allocates %.1f/iteration, want 0", allocs)
+	}
+	if recv.Segments < 2800 {
+		t.Fatalf("receiver saw %d segments; the path under test did not run", recv.Segments)
+	}
+	if ma.Driver.RxWrongCore != 0 {
+		t.Fatalf("RxWrongCore = %d, want 0", ma.Driver.RxWrongCore)
 	}
 }

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	damnbench [-quick] [-parallel N] [-seed N]
-//	          [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|chaos|recovery]
-//	          [-recovery] [-faults P] [-fault-seed N] [-stats out.json] [-trace out.trace]
+//	          [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|scaling|chaos|recovery]
+//	          [-recovery] [-scaling] [-faults P] [-fault-seed N] [-stats out.json] [-trace out.trace]
 //
 // The default full-fidelity run takes a few minutes; -quick shrinks the
 // measurement windows for a fast smoke pass. -parallel N fans each figure's
@@ -31,6 +31,12 @@
 // heals it; the row reports the throughput dip, detection latency and MTTR.
 // With -exp chaos, -recovery also attaches the supervisor to the chaos
 // machines, so chaos storms are contained instead of ridden out.
+//
+// -scaling (or -exp scaling) adds the RSS scale-out figure: netperf RX
+// throughput at 1/2/4/8/16 simulated cores per scheme, with flows spread
+// across one RX ring per core by the deterministic Toeplitz hash. The run
+// fails if any RX completion executes off its ring's core or any DAMN
+// request is clamped to a foreign shard.
 package main
 
 import (
@@ -52,8 +58,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	faultRate := flag.Float64("faults", 0, "per-visit fault-injection probability for every fault kind (0 = off); see internal/faults")
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule (used with -faults or -exp chaos)")
-	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5, chaos, recovery")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5, scaling, chaos, recovery")
 	recover := flag.Bool("recovery", false, "fault-domain recovery: add the recovery figure to the run, and attach the device-recovery supervisor to chaos machines")
+	scaling := flag.Bool("scaling", false, "RSS scale-out: add the Gb/s vs. core-count figure to the run")
 	statsOut := flag.String("stats", "", "write per-figure metrics snapshots to this JSON file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every simulated machine")
 	flag.Parse()
@@ -74,6 +81,9 @@ func main() {
 	}
 	if *recover {
 		want["recovery"] = true
+	}
+	if *scaling {
+		want["scaling"] = true
 	}
 	all := want["all"]
 

@@ -83,6 +83,7 @@ func (c *dmaCache) cpu(x Ctx) *cpuCache {
 	cpu := x.CPU
 	if cpu < 0 || cpu >= len(c.perCPU) {
 		cpu = 0
+		c.d.noteShardClamp()
 	}
 	return c.perCPU[cpu][c.d.ctxIndex(x)]
 }
@@ -281,10 +282,15 @@ type regionShard struct {
 }
 
 // shard returns the region shard for a CPU, clamping out-of-range values
-// the same way the IOVA encoding does.
+// the same way the IOVA encoding does. A clamp means some caller handed us
+// a CPU id the machine does not have — the work lands on shard 0, skewing
+// per-core accounting and contention — so every clamp is counted and
+// surfaced via ShardClamps / the damn.shard_cpu_clamps stat instead of
+// disappearing silently.
 func (d *DAMN) shard(cpu int) *regionShard {
 	if cpu < 0 || cpu >= len(d.shards) {
 		cpu = 0
+		d.noteShardClamp()
 	}
 	return &d.shards[cpu]
 }
@@ -294,6 +300,7 @@ func (d *DAMN) shard(cpu int) *regionShard {
 func (d *DAMN) allocEncodedIOVA(cpu int, rights iommu.Perm, dev int) (iommu.IOVA, error) {
 	if cpu < 0 || cpu >= len(d.cfg.CoreNodes) {
 		cpu = 0
+		d.noteShardClamp()
 	}
 	s := d.shard(cpu)
 	s.mu.Lock()

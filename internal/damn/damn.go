@@ -148,6 +148,11 @@ type DAMN struct {
 	ChunksReleased uint64
 	footprint      int64 // bytes currently owned by DAMN
 
+	// shardClamps counts requests whose CPU id was out of range and got
+	// aliased to shard/magazine 0 — see (*DAMN).shard. Non-zero means the
+	// per-core affinity invariant was violated somewhere upstream.
+	shardClamps atomic.Uint64
+
 	// Observability (nil-safe handles; see SetStats). magHitC counts chunk
 	// gets served by a per-core magazine, depotHitC by a depot exchange,
 	// and buildC the slow path that zeroes and IOMMU-maps a fresh chunk —
@@ -159,6 +164,7 @@ type DAMN struct {
 	releasedC     *stats.Counter
 	shrinkRunsC   *stats.Counter
 	shrinkPagesC  *stats.Counter
+	shardClampC   *stats.Counter
 	footprintG    *stats.Gauge
 	allocCyc      *stats.FloatCounter
 	freeCyc       *stats.FloatCounter
@@ -179,6 +185,7 @@ func (d *DAMN) SetStats(r *stats.Registry) {
 	d.releasedC = r.Counter("damn", "chunks_released")
 	d.shrinkRunsC = r.Counter("damn", "shrink_runs")
 	d.shrinkPagesC = r.Counter("damn", "shrink_pages")
+	d.shardClampC = r.Counter("damn", "shard_cpu_clamps")
 	d.footprintG = r.Gauge("damn", "footprint_bytes")
 	d.allocCyc = r.FloatCounter("perf", "cycles_damn_alloc")
 	d.freeCyc = r.FloatCounter("perf", "cycles_damn_free")
@@ -237,6 +244,16 @@ func (d *DAMN) FootprintBytes() int64 {
 	defer d.mu.Unlock()
 	return d.footprint
 }
+
+// noteShardClamp records one out-of-range-CPU alias to shard 0.
+func (d *DAMN) noteShardClamp() {
+	d.shardClamps.Add(1)
+	d.shardClampC.Add(1)
+}
+
+// ShardClamps reports how many requests carried a CPU id outside the
+// machine and were aliased to shard 0. Zero in a healthy system.
+func (d *DAMN) ShardClamps() uint64 { return d.shardClamps.Load() }
 
 // nodeOf returns the NUMA node of a core (clamped).
 func (d *DAMN) nodeOf(cpu int) int {

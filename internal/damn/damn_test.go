@@ -779,3 +779,62 @@ func TestShrinkerIntegrationWithMemoryPressure(t *testing.T) {
 		f.mem.FreePages(p, 4)
 	}
 }
+
+// TestShardAffinity is the per-core shard invariant: an allocation made
+// with CPU id n must come out of shard n — the IOVA's encoded CPU field is
+// the witness — and no in-range request may trip the clamp counter.
+func TestShardAffinity(t *testing.T) {
+	f := newFixture(t, nil) // 4 cores
+	for cpu := 0; cpu < 4; cpu++ {
+		pa, err := f.d.Alloc(Ctx{CPU: cpu}, testDev, iommu.PermWrite, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := f.d.IOVAOf(pa)
+		if !ok {
+			t.Fatal("IOVAOf failed")
+		}
+		enc, ok := iova.Decode(v)
+		if !ok {
+			t.Fatal("iova.Decode failed")
+		}
+		if enc.CPU != cpu {
+			t.Fatalf("cpu %d allocation landed on shard %d", cpu, enc.CPU)
+		}
+		if err := f.d.Free(Ctx{CPU: cpu}, pa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.d.ShardClamps(); got != 0 {
+		t.Fatalf("in-range CPUs tripped the shard clamp %d times", got)
+	}
+}
+
+// TestShardClampCounted: out-of-range CPU ids still work (aliased to shard
+// 0, like the encoding clamps them) but are counted, not silent.
+func TestShardClampCounted(t *testing.T) {
+	f := newFixture(t, nil)
+	for _, cpu := range []int{-1, 4, 99} {
+		pa, err := f.d.Alloc(Ctx{CPU: cpu}, testDev, iommu.PermWrite, 1500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := f.d.IOVAOf(pa)
+		if !ok {
+			t.Fatal("IOVAOf failed")
+		}
+		enc, ok := iova.Decode(v)
+		if !ok {
+			t.Fatal("iova.Decode failed")
+		}
+		if enc.CPU != 0 {
+			t.Fatalf("out-of-range cpu %d landed on shard %d, want 0", cpu, enc.CPU)
+		}
+		if err := f.d.Free(Ctx{CPU: cpu}, pa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.d.ShardClamps(); got == 0 {
+		t.Fatal("out-of-range CPU ids were clamped silently (counter stayed 0)")
+	}
+}

@@ -64,7 +64,7 @@ func TestNICRXDeliversThroughIOMMU(t *testing.T) {
 		t.Fatal(err)
 	}
 	hdr := []byte("ETH|IP|TCP hdr")
-	n.InjectRX(0, 0, Segment{Flow: 1, Len: 9000, Header: hdr})
+	n.InjectRX(0, Segment{Flow: 1, Len: 9000, Header: hdr})
 	r.se.RunUntilIdle()
 
 	if len(got) != 1 {
@@ -93,7 +93,7 @@ func TestNICRXFlowControlParks(t *testing.T) {
 	delivered := 0
 	n.OnRX(func(_ *sim.Task, ring int, comps []RXCompletion) { delivered += len(comps) })
 	// No buffers posted: the segment parks (lossless flow control).
-	n.InjectRX(0, 0, Segment{Len: 9000, Header: []byte("h")})
+	n.InjectRX(0, Segment{Len: 9000, Header: []byte("h")})
 	r.se.RunUntilIdle()
 	if delivered != 0 {
 		t.Fatal("segment delivered without buffers")
@@ -117,7 +117,7 @@ func TestNICRXFaultBlocked(t *testing.T) {
 	n.OnRX(func(_ *sim.Task, ring int, comps []RXCompletion) { comp = comps[0] })
 	// Post a descriptor whose IOVA is not mapped: the DMA must fault.
 	n.PostRX(0, RXDesc{IOVA: 0xDEAD000, Size: 4096})
-	n.InjectRX(0, 0, Segment{Len: 1500, Header: []byte("attack")})
+	n.InjectRX(0, Segment{Len: 1500, Header: []byte("attack")})
 	r.se.RunUntilIdle()
 	if n.RxBlocked != 1 {
 		t.Fatalf("RxBlocked = %d", n.RxBlocked)
@@ -138,8 +138,8 @@ func TestNICWirePacing(t *testing.T) {
 	r.mapBuf(t, 1, 4, iommu.PermWrite, 0x200000)
 	n.PostRX(0, RXDesc{IOVA: 0x100000, Size: 64 << 10}, RXDesc{IOVA: 0x200000, Size: 64 << 10})
 	seg := Segment{Len: 64 << 10, Header: []byte("h")}
-	n.InjectRX(0, 0, seg)
-	n.InjectRX(0, 0, seg)
+	n.InjectRX(0, seg)
+	n.InjectRX(0, seg)
 	r.se.RunUntilIdle()
 	if len(times) != 2 {
 		t.Fatalf("delivered %d", len(times))
@@ -342,5 +342,81 @@ func TestTOCTTOUFlipAgainstStaleIOTLB(t *testing.T) {
 	r.u.TLB().InvalidateDevice(1)
 	if attacker.TOCTTOUFlip(0x600000, []byte("late."), 3) {
 		t.Fatal("attack landed after invalidation")
+	}
+}
+
+// TestRXPostedParkedBadRing: a bad ring index from the faults plane or a
+// misconfigured workload must surface a checked error, not a panic.
+func TestRXPostedParkedBadRing(t *testing.T) {
+	r := newRig(t, 2)
+	n := defaultNIC(r)
+	for _, ring := range []int{-1, len(r.cores), 99} {
+		if _, err := n.RXPosted(ring); err == nil {
+			t.Errorf("RXPosted(%d): no error", ring)
+		}
+		if _, err := n.RXParked(ring); err == nil {
+			t.Errorf("RXParked(%d): no error", ring)
+		}
+	}
+	if got, err := n.RXPosted(0); err != nil || got != 0 {
+		t.Fatalf("RXPosted(0) = %d, %v", got, err)
+	}
+}
+
+// TestRSSRingSelection: the indirection table spreads hashes across every
+// ring, an exact-match steering rule overrides it, and hash 0 (raw device
+// tests that set no hash) stays on ring 0.
+func TestRSSRingSelection(t *testing.T) {
+	r := newRig(t, 4)
+	n := defaultNIC(r)
+	if got := n.RingFor(0); got != 0 {
+		t.Fatalf("hash 0 landed on ring %d, want 0", got)
+	}
+	seen := map[int]bool{}
+	for h := uint32(0); h < RSSTableSize; h++ {
+		ring := n.RingFor(h)
+		if ring < 0 || ring >= 4 {
+			t.Fatalf("hash %d -> ring %d out of range", h, ring)
+		}
+		seen[ring] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("indirection table covers %d of 4 rings", len(seen))
+	}
+	if err := n.SteerFlow(7, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.RingFor(7); got != 3 {
+		t.Fatalf("steered hash routed to ring %d, want 3", got)
+	}
+	if err := n.SteerFlow(8, 4); err == nil {
+		t.Fatal("SteerFlow accepted an out-of-range ring")
+	}
+	if err := n.SteerFlow(8, -1); err == nil {
+		t.Fatal("SteerFlow accepted a negative ring")
+	}
+}
+
+// TestInjectRXFollowsHash: segments land on the ring their hash selects.
+func TestInjectRXFollowsHash(t *testing.T) {
+	r := newRig(t, 4)
+	n := defaultNIC(r)
+	byRing := map[int]int{}
+	n.OnRX(func(_ *sim.Task, ring int, comps []RXCompletion) { byRing[ring] += len(comps) })
+	for ring := 0; ring < 4; ring++ {
+		if err := n.PostRX(ring, RXDesc{IOVA: 0x100000, Size: 64 << 10, Cookie: ring}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.mapBuf(t, 1, 4, iommu.PermWrite, 0x100000)
+	// The default table is i % Rings over 128 slots, so hash r -> ring r.
+	for h := uint32(0); h < 4; h++ {
+		n.InjectRX(0, Segment{Flow: int(h), Hash: h, Len: 1500, Header: []byte("h")})
+	}
+	r.se.RunUntilIdle()
+	for ring := 0; ring < 4; ring++ {
+		if byRing[ring] != 1 {
+			t.Fatalf("ring %d saw %d completions, want 1 (%v)", ring, byRing[ring], byRing)
+		}
 	}
 }

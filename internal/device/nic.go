@@ -38,7 +38,14 @@ type TXDesc struct {
 // TSO segmentation happens in hardware (TX): up to 64 KiB of TCP payload
 // plus a header blob.
 type Segment struct {
-	Flow   int
+	Flow int
+	// Hash is the RSS hash of the segment's flow tuple, as the NIC's hash
+	// unit would compute it from the wire bytes (the simulated device does
+	// not parse headers, so traffic sources supply it — see
+	// netstack.RSSHashIPv4). The indirection table maps it to an RX ring;
+	// an exact-match steering rule (SteerFlow) overrides it. Hash 0 lands
+	// on ring 0, so raw single-ring tests need no hash at all.
+	Hash   uint32
 	Len    int    // total bytes on the wire (headers + payload)
 	Header []byte // bytes the NIC actually materialises in memory
 	// WritePayload: materialise the whole payload in memory (security
@@ -82,7 +89,6 @@ type NIC struct {
 	u     *iommu.IOMMU
 	model *perf.Model
 	membw *sim.MemController
-	cores []*sim.Core
 
 	// Per-port, per-direction wire pacing.
 	rxWire []*sim.FluidResource
@@ -99,6 +105,19 @@ type NIC struct {
 	rings []*rxRing
 	txqs  []*txRing
 	inj   *faults.Injector
+
+	// ringCores binds each ring to the core whose interrupt handler serves
+	// it — the MSI-X affinity of a real multi-queue NIC. Completion and
+	// refill work for a ring always runs on its bound core, which is what
+	// keeps a ring's allocations on that core's DAMN shard.
+	ringCores []*sim.Core
+	// rssTable is the RSS indirection table: hash → ring, round-robin by
+	// default (the ethtool -X equal-weight layout).
+	rssTable [RSSTableSize]int
+	// steer holds exact-match flow-steering rules (the aRFS/ethtool -N
+	// analogue): hash → ring, overriding the indirection table. Pinned
+	// workloads use it to keep a flow on the core its consumer runs on.
+	steer map[uint32]int
 
 	rxHandler func(t *sim.Task, ring int, comps []RXCompletion)
 	txHandler func(t *sim.Task, ring int, descs []TXDesc)
@@ -229,7 +248,7 @@ func NewNIC(se *sim.Engine, u *iommu.IOMMU, model *perf.Model, membw *sim.MemCon
 	if cfg.Rings <= 0 {
 		cfg.Rings = len(cores)
 	}
-	n := &NIC{Cfg: cfg, se: se, u: u, model: model, membw: membw, cores: cores}
+	n := &NIC{Cfg: cfg, se: se, u: u, model: model, membw: membw}
 	bytesPerSec := cfg.WireGbps * 1e9 / 8
 	for p := 0; p < cfg.Ports; p++ {
 		n.rxWire = append(n.rxWire, sim.NewFluidResource(fmt.Sprintf("nic%d-port%d-rx", cfg.ID, p), bytesPerSec))
@@ -249,9 +268,43 @@ func NewNIC(se *sim.Engine, u *iommu.IOMMU, model *perf.Model, membw *sim.MemCon
 	for r := 0; r < cfg.Rings; r++ {
 		n.rings = append(n.rings, &rxRing{})
 		n.txqs = append(n.txqs, &txRing{})
+		n.ringCores = append(n.ringCores, cores[r%len(cores)])
+	}
+	for i := range n.rssTable {
+		n.rssTable[i] = i % cfg.Rings
 	}
 	return n
 }
+
+// RSSTableSize is the number of indirection-table entries (mlx5's default).
+const RSSTableSize = 128
+
+// RingFor resolves the RX ring a segment with the given RSS hash lands on:
+// an exact-match steering rule if one is installed, the indirection table
+// otherwise. Traffic sources use it to learn where flow control for their
+// flow is signalled.
+func (n *NIC) RingFor(hash uint32) int {
+	if ring, ok := n.steer[hash]; ok {
+		return ring
+	}
+	return n.rssTable[hash%RSSTableSize]
+}
+
+// SteerFlow installs an exact-match steering rule directing the flow with
+// the given RSS hash to a ring (aRFS: deliver where the consumer runs).
+func (n *NIC) SteerFlow(hash uint32, ring int) error {
+	if ring < 0 || ring >= len(n.rings) {
+		return fmt.Errorf("device: steering to ring %d of %d", ring, len(n.rings))
+	}
+	if n.steer == nil {
+		n.steer = make(map[uint32]int)
+	}
+	n.steer[hash] = ring
+	return nil
+}
+
+// RingCore returns the core bound to a ring's completion interrupt.
+func (n *NIC) RingCore(ring int) *sim.Core { return n.ringCores[ring] }
 
 // ID returns the NIC's device index.
 func (n *NIC) ID() int { return n.Cfg.ID }
@@ -327,7 +380,10 @@ func (n *NIC) PostRX(ring int, descs ...RXDesc) error {
 	if n.quarantined {
 		return fmt.Errorf("device: nic %d quarantined; RX post rejected", n.Cfg.ID)
 	}
-	r := n.rings[ring]
+	r, err := n.ring(ring)
+	if err != nil {
+		return err
+	}
 	if r.posted()+len(descs) > n.Cfg.RingSize {
 		return fmt.Errorf("device: RX ring %d overflow", ring)
 	}
@@ -343,12 +399,34 @@ func (n *NIC) PostRX(ring int, descs ...RXDesc) error {
 	return nil
 }
 
+// ring resolves a ring index with bounds checking: a bad index from the
+// faults plane or a misconfigured workload must surface as a checked error,
+// not panic the simulation.
+func (n *NIC) ring(ring int) (*rxRing, error) {
+	if ring < 0 || ring >= len(n.rings) {
+		return nil, fmt.Errorf("device: nic %d has no RX ring %d (rings: %d)", n.Cfg.ID, ring, len(n.rings))
+	}
+	return n.rings[ring], nil
+}
+
 // RXPosted reports the number of free posted buffers in a ring.
-func (n *NIC) RXPosted(ring int) int { return n.rings[ring].posted() }
+func (n *NIC) RXPosted(ring int) (int, error) {
+	r, err := n.ring(ring)
+	if err != nil {
+		return 0, err
+	}
+	return r.posted(), nil
+}
 
 // RXParked reports segments held by flow control because the ring had no
 // buffers — the congestion signal a paused sender sees.
-func (n *NIC) RXParked(ring int) int { return n.rings[ring].parked() }
+func (n *NIC) RXParked(ring int) (int, error) {
+	r, err := n.ring(ring)
+	if err != nil {
+		return 0, err
+	}
+	return r.parked(), nil
+}
 
 // WireRXBacklog returns how far a port's inbound wire has fallen behind —
 // the generator's pacing signal.
@@ -357,12 +435,14 @@ func (n *NIC) WireRXBacklog(port int) sim.Time { return n.rxWire[port].Backlog(n
 // WireTXBacklog is the outbound equivalent.
 func (n *NIC) WireTXBacklog(port int) sim.Time { return n.txWire[port].Backlog(n.se.Now()) }
 
-// InjectRX simulates a segment arriving on a port, destined for a ring
-// (steered there by RSS). The wire, PCIe and memory-bandwidth resources
-// pace the DMA; the payload lands through the IOMMU; then the ring's core
-// takes an interrupt. With fault injection on, the segment first passes
-// the netem-style link impairments: drop, corrupt, duplicate, reorder.
-func (n *NIC) InjectRX(port, ring int, seg Segment) {
+// InjectRX simulates a segment arriving on a port. The NIC steers it to an
+// RX ring by its RSS hash (indirection table, or an exact-match steering
+// rule); the wire, PCIe and memory-bandwidth resources pace the DMA; the
+// payload lands through the IOMMU; then the ring's bound core takes an
+// interrupt. With fault injection on, the segment first passes the
+// netem-style link impairments: drop, corrupt, duplicate, reorder.
+func (n *NIC) InjectRX(port int, seg Segment) {
+	ring := n.RingFor(seg.Hash)
 	if n.quarantined {
 		// A fenced (or absent) device terminates the link: the segment
 		// still occupies the wire (the remote sender cannot know), then
@@ -446,8 +526,7 @@ func (n *NIC) getRXDispatch() *rxDispatch {
 	}
 	d := &rxDispatch{n: n}
 	d.fire = func() {
-		core := d.n.cores[d.ring%len(d.n.cores)]
-		core.Submit(true, d.task)
+		d.n.ringCores[d.ring].Submit(true, d.task)
 	}
 	d.task = func(t *sim.Task) {
 		if d.n.rxHandler != nil {
@@ -478,8 +557,7 @@ func (n *NIC) getTXDispatch() *txDispatch {
 	d := &txDispatch{n: n}
 	d.fire = func() {
 		d.n.txqs[d.ring].inFlight--
-		core := d.n.cores[d.ring%len(d.n.cores)]
-		core.Submit(true, d.task)
+		d.n.ringCores[d.ring].Submit(true, d.task)
 	}
 	d.task = func(t *sim.Task) {
 		if d.n.txHandler != nil {
@@ -629,6 +707,9 @@ func (n *NIC) dmaWriteSegment(desc RXDesc, seg Segment) (int, error) {
 func (n *NIC) PostTX(ring, port int, desc TXDesc) error {
 	if n.quarantined {
 		return fmt.Errorf("device: nic %d quarantined; TX post rejected", n.Cfg.ID)
+	}
+	if ring < 0 || ring >= len(n.txqs) {
+		return fmt.Errorf("device: nic %d has no TX ring %d (rings: %d)", n.Cfg.ID, ring, len(n.txqs))
 	}
 	q := n.txqs[ring]
 	if q.inFlight >= n.Cfg.TxRing {

@@ -108,6 +108,13 @@ func Catalog() []Figure {
 			}
 			return RenderFootnote5(rows), nil
 		}},
+		{"scaling", false, func(o Options) (string, error) {
+			rows, err := Scaling(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderScaling(rows), nil
+		}},
 		{"chaos", false, func(o Options) (string, error) {
 			rows, err := Chaos(o)
 			if err != nil {

@@ -93,6 +93,11 @@ const (
 	extraFig2 = 8000
 	// extraFig8: 14-core RX with the netfilter callback.
 	extraFig8 = 50000
+	// extraScaling: the RSS scale-out figure — many pure-RSS flows per
+	// ring, cross-core demux — pinned so 16 cores stay under the PCIe RX
+	// ceiling (106 Gb/s) and the growth curve keeps its bottleneck-free
+	// shape all the way up.
+	extraScaling = 150000
 )
 
 func newMachine(scheme testbed.Scheme, opts Options, memBytes int64, ring int) (*testbed.Machine, error) {

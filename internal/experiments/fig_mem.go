@@ -62,7 +62,10 @@ func fig9Run(opts Options) ([]Fig9Point, error) {
 	var gens []*workloads.Generator
 	for i := 0; i < 4; i++ {
 		receivers[i+1] = &netstack.Receiver{K: ma.Kernel}
-		g := workloads.NewGenerator(ma, i%ma.Model.NICPorts, i, i+1, ma.Model.SegmentSize)
+		g, err := workloads.NewGenerator(ma, i%ma.Model.NICPorts, i, i+1, ma.Model.SegmentSize)
+		if err != nil {
+			return nil, err
+		}
 		g.Start()
 		gens = append(gens, g)
 	}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/asplos18/damn/internal/perf"
+	"github.com/asplos18/damn/internal/testbed"
+	"github.com/asplos18/damn/internal/workloads"
+)
+
+// TestScalingParallelMatchesSerial is the determinism contract extended
+// through RSS: the same seed and flow set must hash to identical ring
+// assignments whatever the host-side worker count, so the rendered scaling
+// figure is byte-identical for serial, parallel, and repeated runs.
+func TestScalingParallelMatchesSerial(t *testing.T) {
+	serial, err := Scaling(Options{Quick: true, Seed: 1, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Scaling(Options{Quick: true, Seed: 1, Parallel: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Scaling(Options{Quick: true, Seed: 1, Parallel: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("parallel scaling rows diverge from serial:\nserial   %+v\nparallel %+v", serial, par)
+	}
+	if !reflect.DeepEqual(par, again) {
+		t.Errorf("two parallel scaling runs diverge:\n%+v\n%+v", par, again)
+	}
+	if RenderScaling(serial) != RenderScaling(par) {
+		t.Error("rendered scaling figure differs between serial and parallel")
+	}
+}
+
+// TestScalingMonotoneAndDivergent pins the figure's acceptance shape:
+// throughput grows monotonically with core count for iommu-off and DAMN,
+// and strict — serialized by its invalidation lock — has the flattest
+// curve (worst 1→16-core speedup) of all schemes.
+func TestScalingMonotoneAndDivergent(t *testing.T) {
+	rows, err := Scaling(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := map[string][]float64{}
+	for _, r := range rows {
+		curves[r.Scheme] = append(curves[r.Scheme], r.RXGbps)
+	}
+	for _, scheme := range []string{string(testbed.SchemeOff), string(testbed.SchemeDAMN)} {
+		g := curves[scheme]
+		for i := 1; i < len(g); i++ {
+			if g[i] <= g[i-1] {
+				t.Errorf("%s throughput not monotone with cores: %v", scheme, g)
+			}
+		}
+	}
+	speedup := func(g []float64) float64 { return g[len(g)-1] / g[0] }
+	strictX := speedup(curves[string(testbed.SchemeStrict)])
+	for scheme, g := range curves {
+		if scheme != string(testbed.SchemeStrict) && speedup(g) <= strictX {
+			t.Errorf("strict (%.2fx) is not the flattest curve: %s scales %.2fx", strictX, scheme, speedup(g))
+		}
+	}
+}
+
+// TestScalingFlowSelectionDeterministic: flow selection is a pure function
+// of the Toeplitz key and ring count — two machines built alike get the
+// same flows on the same rings, with every ring covered.
+func TestScalingFlowSelectionDeterministic(t *testing.T) {
+	build := func() ([]int, []int) {
+		ma, err := testbed.NewMachine(testbed.MachineConfig{
+			Scheme: testbed.SchemeDAMN, Model: perf.Default28Core(),
+			MemBytes: 256 << 20, Seed: 1, RingSize: 8, Cores: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ma.Close()
+		perRing := make([]int, ma.NIC.Cfg.Rings)
+		var rings []int
+		for flow := 1; len(rings) < 2*len(perRing); flow++ {
+			g := workloads.NewRSSGenerator(ma, 0, flow, ma.Model.SegmentSize)
+			if perRing[g.Ring()] >= 2 {
+				continue
+			}
+			perRing[g.Ring()]++
+			rings = append(rings, g.Ring())
+		}
+		return rings, perRing
+	}
+	r1, c1 := build()
+	r2, c2 := build()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("ring assignment differs across identical machines:\n%v\n%v", r1, r2)
+	}
+	for ring, n := range c1 {
+		if n != 2 {
+			t.Errorf("ring %d got %d flows, want 2", ring, n)
+		}
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Errorf("per-ring flow counts differ: %v vs %v", c1, c2)
+	}
+}

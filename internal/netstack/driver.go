@@ -21,11 +21,12 @@ type Driver struct {
 	k   *Kernel
 	nic *device.NIC
 
-	// shortfall counts, per ring, descriptors missing from circulation:
-	// completions consumed whose repost failed, plus initial-fill gaps.
-	// The watchdog restores exactly this deficit — it must not "top up"
-	// in-flight descriptors, or it would defeat flow control.
-	shortfall []int
+	// napi holds one poll context per RX ring, bound to the core the NIC
+	// raises that ring's completion interrupt on (the MSI-X affinity of a
+	// multi-queue driver). All completion, refill and watchdog work for a
+	// ring runs on its context's core — which is what pins the ring's
+	// allocations to that core's DAMN shard.
+	napi []napiCtx
 
 	// RxBufSize is the posted receive buffer size (64 KiB: one LRO
 	// segment per buffer).
@@ -50,6 +51,7 @@ type Driver struct {
 
 	// Stats.
 	RxDelivered     uint64
+	RxWrongCore     uint64 // completions handled off their ring's bound core (invariant: 0)
 	RxDropped       uint64 // completions with DMA faults
 	RxCsumDrops     uint64 // corrupted frames caught by hardware checksum
 	RxUnmapErrors   uint64 // RX unmap failures (buffer leaked unless DAMN)
@@ -62,6 +64,7 @@ type Driver struct {
 
 	// Observability (nil-safe handles; see SetStats).
 	rxDelivC    *stats.Counter
+	rxWrongCPUC *stats.Counter
 	rxDropC     *stats.Counter
 	rxCsumC     *stats.Counter
 	rxUnmapC    *stats.Counter
@@ -79,6 +82,7 @@ type Driver struct {
 // quarantined unmap failures, watchdog recoveries).
 func (d *Driver) SetStats(r *stats.Registry) {
 	d.rxDelivC = r.Counter("netstack", "rx_delivered")
+	d.rxWrongCPUC = r.Counter("netstack", "rx_wrong_core")
 	d.rxDropC = r.Counter("netstack", "rx_dropped")
 	d.rxCsumC = r.Counter("netstack", "rx_csum_drops")
 	d.rxUnmapC = r.Counter("netstack", "rx_unmap_errors")
@@ -100,14 +104,32 @@ type rxBuf struct {
 	epoch uint64 // driver epoch the buffer was posted under
 }
 
-// NewDriver wires a driver to its NIC.
+// napiCtx is one RX ring's NAPI poll context. The core is the ring's
+// interrupt affinity, read once from the NIC at driver construction; the
+// shortfall counts descriptors missing from circulation on this ring —
+// completions consumed whose repost failed, plus initial-fill gaps. The
+// watchdog restores exactly this deficit — it must not "top up" in-flight
+// descriptors, or it would defeat flow control.
+type napiCtx struct {
+	core      *sim.Core
+	shortfall int
+}
+
+// NewDriver wires a driver to its NIC, building one NAPI context per ring
+// on the ring's bound core.
 func NewDriver(k *Kernel, nic *device.NIC) *Driver {
-	d := &Driver{k: k, nic: nic, RxBufSize: k.Model.SegmentSize,
-		shortfall: make([]int, nic.Cfg.Rings)}
+	d := &Driver{k: k, nic: nic, RxBufSize: k.Model.SegmentSize}
+	for ring := 0; ring < nic.Cfg.Rings; ring++ {
+		d.napi = append(d.napi, napiCtx{core: nic.RingCore(ring)})
+	}
 	nic.OnRX(d.handleRX)
 	nic.OnTXComplete(d.handleTXComplete)
 	return d
 }
+
+// RingCore reports the core a ring's NAPI context is bound to (tests and
+// the shard-affinity invariant).
+func (d *Driver) RingCore(ring int) *sim.Core { return d.napi[ring].core }
 
 // NIC returns the underlying device.
 func (d *Driver) NIC() *device.NIC { return d.nic }
@@ -116,13 +138,19 @@ func (d *Driver) NIC() *device.NIC { return d.nic }
 // segments are in flight yet). A failure records the remaining gap as the
 // ring's shortfall so the watchdog can finish the job later.
 func (d *Driver) FillRing(t *sim.Task, ring int) error {
-	for d.nic.RXPosted(ring) < d.nic.Cfg.RingSize {
+	for {
+		posted, err := d.nic.RXPosted(ring)
+		if err != nil {
+			return err
+		}
+		if posted >= d.nic.Cfg.RingSize {
+			return nil
+		}
 		if err := d.postOne(t, ring); err != nil {
-			d.shortfall[ring] += d.nic.Cfg.RingSize - d.nic.RXPosted(ring)
+			d.napi[ring].shortfall += d.nic.Cfg.RingSize - posted
 			return err
 		}
 	}
-	return nil
 }
 
 func (d *Driver) getRXBuf() *rxBuf {
@@ -177,8 +205,15 @@ func (d *Driver) reclaimBuf(t *sim.Task, rb *rxBuf) (freed bool) {
 	return true
 }
 
-// handleRX runs in interrupt context on the ring's core.
+// handleRX runs in interrupt context on the ring's bound core.
 func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
+	if t.Core() != d.napi[ring].core {
+		// Shard-affinity invariant: a ring's completions (and thus its
+		// buffer allocations and invalidations) only ever touch the DAMN
+		// shard of the ring's bound core. Must stay zero; DESIGN.md §11.
+		d.RxWrongCore += uint64(len(comps))
+		d.rxWrongCPUC.Add(uint64(len(comps)))
+	}
 	for _, comp := range comps {
 		rb := comp.Desc.Cookie.(*rxBuf)
 		if rb.epoch != d.epoch {
@@ -214,7 +249,7 @@ func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 			d.rxDropC.Inc()
 			d.putRXBuf(rb)
 			if err := d.postOne(t, ring); err != nil {
-				d.shortfall[ring]++ // watchdog restores it
+				d.napi[ring].shortfall++ // watchdog restores it
 			}
 			continue
 		}
@@ -226,7 +261,7 @@ func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 			// watchdog restores the recorded shortfall.
 			d.RxDropped++
 			d.rxDropC.Inc()
-			d.shortfall[ring]++
+			d.napi[ring].shortfall++
 		}
 		if comp.Written == 0 && comp.Seg.Len > 0 && len(comp.Seg.Header) > 0 {
 			// The DMA faulted (attack or misconfiguration): no
@@ -282,6 +317,7 @@ func (d *Driver) EnableWatchdog(period sim.Time) (stop func()) {
 	stops := make([]func(), 0, d.nic.Cfg.Rings)
 	for ring := 0; ring < d.nic.Cfg.Rings; ring++ {
 		ring := ring
+		n := &d.napi[ring]
 		stops = append(stops, d.k.Sim.Every(period, func() {
 			if d.nic.Quarantined() {
 				// A quarantined or resetting device owns no ring state:
@@ -292,11 +328,10 @@ func (d *Driver) EnableWatchdog(period sim.Time) (stop func()) {
 				return
 			}
 			comps := d.nic.ReapMissed(ring)
-			if len(comps) == 0 && d.shortfall[ring] == 0 {
+			if len(comps) == 0 && n.shortfall == 0 {
 				return
 			}
-			core := d.k.Cores[ring%len(d.k.Cores)]
-			core.Submit(true, func(t *sim.Task) {
+			n.core.Submit(true, func(t *sim.Task) {
 				perf.Charge(t, watchdogPollCycles)
 				d.WatchdogRuns++
 				d.watchdogC.Inc()
@@ -307,11 +342,11 @@ func (d *Driver) EnableWatchdog(period sim.Time) (stop func()) {
 				}
 				// Repost what the interrupt path failed to; under injected
 				// OOM this may fail again — the next tick retries.
-				for d.shortfall[ring] > 0 {
+				for n.shortfall > 0 {
 					if err := d.postOne(t, ring); err != nil {
 						break
 					}
-					d.shortfall[ring]--
+					n.shortfall--
 					d.wdRefillC.Inc()
 				}
 			})
@@ -329,8 +364,8 @@ func (d *Driver) EnableWatchdog(period sim.Time) (stop func()) {
 // a deficit that keeps growing means reposts keep failing.
 func (d *Driver) Shortfall() int {
 	n := 0
-	for _, s := range d.shortfall {
-		n += s
+	for i := range d.napi {
+		n += d.napi[i].shortfall
 	}
 	return n
 }
@@ -360,8 +395,8 @@ func (d *Driver) QuarantineDrain(t *sim.Task) (reclaimed, leaked, parkedDropped 
 	}
 	// The deficit described a ring that no longer exists; Reinit refills
 	// from scratch.
-	for i := range d.shortfall {
-		d.shortfall[i] = 0
+	for i := range d.napi {
+		d.napi[i].shortfall = 0
 	}
 	return reclaimed, leaked, parked
 }

@@ -165,6 +165,86 @@ func ParseTCP(b []byte) (TCPHeader, error) {
 	return h, nil
 }
 
+// RSS — receive-side scaling. The NIC's hash unit runs the Toeplitz hash
+// over the 4-tuple of every arriving frame and an indirection table maps the
+// hash to an RX ring, spreading flows across cores while keeping each flow
+// on one ring (packet order within a flow is preserved). The simulated
+// device cannot parse headers itself (the device package must not depend on
+// the netstack), so traffic sources compute the hash here — once per flow,
+// since it covers only connection-constant fields — and carry it in
+// device.Segment.Hash, exactly as real hardware reports the computed hash in
+// the completion descriptor.
+
+// rssKey is the 40-byte Toeplitz key every machine uses (the canonical
+// Microsoft verification key, so the hash can be checked against the
+// published test vectors). A fixed key is what makes ring placement a pure
+// function of the flow tuple — the determinism contract extends through RSS.
+var rssKey = [40]byte{
+	0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+	0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+	0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+	0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+}
+
+// rssKeyWindow returns the 32-bit window of the key starting at bit off.
+func rssKeyWindow(off int) uint32 {
+	var v uint64 // 40 bits: the 5 key bytes covering the window
+	for k := 0; k < 5; k++ {
+		v = v<<8 | uint64(rssKey[off/8+k])
+	}
+	return uint32(v >> (8 - off%8))
+}
+
+// ToeplitzHash computes the RSS Toeplitz hash of data under the fixed key.
+// The key bounds the input to 35 bytes (the IPv4 4-tuple input is 12).
+func ToeplitzHash(data []byte) uint32 {
+	var h uint32
+	for i, b := range data {
+		for bit := 0; bit < 8; bit++ {
+			if b&(0x80>>bit) != 0 {
+				h ^= rssKeyWindow(i*8 + bit)
+			}
+		}
+	}
+	return h
+}
+
+// RSSHashIPv4 is the hash the NIC computes for a TCP/IPv4 frame: Toeplitz
+// over source address, destination address, source port, destination port
+// (in that order, network byte order — the layout the Microsoft test
+// vectors pin down).
+func RSSHashIPv4(src, dst netip.Addr, srcPort, dstPort uint16) uint32 {
+	var data [12]byte
+	s, d := src.As4(), dst.As4()
+	copy(data[0:4], s[:])
+	copy(data[4:8], d[:])
+	binary.BigEndian.PutUint16(data[8:10], srcPort)
+	binary.BigEndian.PutUint16(data[10:12], dstPort)
+	return ToeplitzHash(data[:])
+}
+
+// RSSFlowHash hashes a bare flow identifier for traffic that does not carry
+// a parseable TCP/IPv4 stack (the memcached workload's protocol frames, raw
+// device tests) — the analogue of a NIC falling back to an L2 hash for
+// non-IP traffic. Same Toeplitz unit, so placement stays deterministic.
+func RSSFlowHash(flow int) uint32 {
+	var data [4]byte
+	binary.BigEndian.PutUint32(data[:], uint32(flow))
+	return ToeplitzHash(data[:])
+}
+
+// RSSHashPacket parses a generated header stack and returns its RSS hash —
+// what the hardware hash unit would compute from the wire bytes. It reports
+// ok=false for frames that are not TCP/IPv4.
+func RSSHashPacket(b []byte) (uint32, bool) {
+	p, err := ParsePacket(b)
+	if err != nil {
+		return 0, false
+	}
+	return RSSHashIPv4(p.IP.Src, p.IP.Dst, p.TCP.SrcPort, p.TCP.DstPort), true
+}
+
 // Packet is a parsed header stack.
 type Packet struct {
 	Eth EthHeader

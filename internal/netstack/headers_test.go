@@ -94,3 +94,46 @@ func TestParseRejectsNonTCP(t *testing.T) {
 		t.Fatal("UDP accepted as TCP")
 	}
 }
+
+// TestToeplitzVectors checks the RSS hash against the published Microsoft
+// verification vectors for the canonical key (TCP/IPv4 with ports).
+func TestToeplitzVectors(t *testing.T) {
+	cases := []struct {
+		src, dst         string
+		srcPort, dstPort uint16
+		want             uint32
+	}{
+		{"66.9.149.187", "161.142.100.80", 2794, 1766, 0x51ccc178},
+		{"199.92.111.2", "65.69.140.83", 14230, 4739, 0xc626b0ea},
+		{"24.19.198.95", "12.22.207.184", 12898, 38024, 0x5c2b394a},
+		{"38.27.205.30", "209.142.163.6", 48228, 2217, 0xafc7327f},
+		{"153.39.163.191", "202.188.127.2", 44251, 1303, 0x10e828a2},
+	}
+	for _, c := range cases {
+		src, dst := netip.MustParseAddr(c.src), netip.MustParseAddr(c.dst)
+		if got := RSSHashIPv4(src, dst, c.srcPort, c.dstPort); got != c.want {
+			t.Errorf("RSSHashIPv4(%s:%d -> %s:%d) = %#x, want %#x",
+				c.src, c.srcPort, c.dst, c.dstPort, got, c.want)
+		}
+	}
+}
+
+// TestRSSHashPacketMatchesTuple: hashing the wire bytes of a generated
+// segment gives the same value as hashing the 4-tuple directly — the
+// property that lets traffic sources precompute the per-flow hash the way
+// hardware reports it in completion descriptors.
+func TestRSSHashPacketMatchesTuple(t *testing.T) {
+	src := netip.AddrFrom4([4]byte{192, 168, 0, 7})
+	dst := netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	b := BuildHeaders(src, dst, 10007, 5001, 1234, 9000)
+	got, ok := RSSHashPacket(b)
+	if !ok {
+		t.Fatal("RSSHashPacket rejected a generated header stack")
+	}
+	if want := RSSHashIPv4(src, dst, 10007, 5001); got != want {
+		t.Fatalf("packet hash %#x != tuple hash %#x", got, want)
+	}
+	if _, ok := RSSHashPacket([]byte("not a packet at all, tiny")); ok {
+		t.Fatal("RSSHashPacket accepted junk")
+	}
+}

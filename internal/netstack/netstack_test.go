@@ -35,7 +35,7 @@ func runRX(t *testing.T, ma *testbed.Machine, seg device.Segment) *netstack.Rece
 	if err := ma.FillAllRings(); err != nil {
 		t.Fatal(err)
 	}
-	ma.NIC.InjectRX(0, 0, seg)
+	ma.NIC.InjectRX(0, seg)
 	ma.Sim.RunUntilIdle()
 	return recv
 }
@@ -79,7 +79,7 @@ func TestRXPayloadIntegrity(t *testing.T) {
 			if err := ma.FillAllRings(); err != nil {
 				t.Fatal(err)
 			}
-			ma.NIC.InjectRX(0, 0, device.Segment{
+			ma.NIC.InjectRX(0, device.Segment{
 				Flow: 1, Len: len(payload), WritePayload: true, Payload: payload,
 			})
 			ma.Sim.RunUntilIdle()
@@ -140,11 +140,11 @@ func TestDriverRefillsRing(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 20; i++ {
-		ma.NIC.InjectRX(0, 0, device.Segment{Len: 9000, Header: []byte("h")})
+		ma.NIC.InjectRX(0, device.Segment{Len: 9000, Header: []byte("h")})
 	}
 	ma.Sim.RunUntilIdle()
-	if got := ma.NIC.RXPosted(0); got != 8 {
-		t.Fatalf("ring not refilled: %d posted, want 8", got)
+	if got, err := ma.NIC.RXPosted(0); err != nil || got != 8 {
+		t.Fatalf("ring not refilled: %d posted, want 8 (err %v)", got, err)
 	}
 	if ma.Driver.RxDelivered != 20 {
 		t.Fatalf("delivered %d of 20", ma.Driver.RxDelivered)
@@ -455,12 +455,16 @@ func TestRXFlowControlBackpressure(t *testing.T) {
 		kept = append(kept, skb)
 	}
 	for i := 0; i < 100; i++ {
-		ma.NIC.InjectRX(0, 0, device.Segment{Len: 9000, Header: []byte("x")})
+		ma.NIC.InjectRX(0, device.Segment{Len: 9000, Header: []byte("x")})
 	}
 	ma.Sim.RunUntilIdle()
-	if ma.NIC.RXParked(0)+int(ma.Driver.RxDelivered) != 100 {
+	parked, err := ma.NIC.RXParked(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parked+int(ma.Driver.RxDelivered) != 100 {
 		t.Fatalf("segments lost: parked %d + delivered %d != 100",
-			ma.NIC.RXParked(0), ma.Driver.RxDelivered)
+			parked, ma.Driver.RxDelivered)
 	}
 }
 
@@ -504,4 +508,42 @@ func TestZeroCopyFallback(t *testing.T) {
 		t.Fatal("fallback unmap did not batch an invalidation")
 	}
 	skb.Free(nil)
+}
+
+// TestNAPIRunsOnRingCore is the shard-affinity invariant end to end: each
+// ring's completions execute on the core its NAPI context is bound to (so
+// every allocation and invalidation hits that core's DAMN shard), and the
+// driver's wrong-core counter stays zero.
+func TestNAPIRunsOnRingCore(t *testing.T) {
+	ma := newMachine(t, testbed.SchemeDAMN, 4)
+	coreOf := map[int]int{} // ring -> executing core
+	ma.Driver.OnDeliver = func(task *sim.Task, ring int, skb *netstack.SKBuff) {
+		coreOf[ring] = task.Core().ID
+		skb.Free(task)
+	}
+	if err := ma.FillAllRings(); err != nil {
+		t.Fatal(err)
+	}
+	// The default indirection table is i % Rings over 128 slots, so hash h
+	// (h < Rings) picks ring h: cover all four rings.
+	for h := 0; h < 4; h++ {
+		ma.NIC.InjectRX(0, device.Segment{
+			Flow: h + 1, Hash: uint32(h), Len: 9000, Header: []byte("h"),
+		})
+	}
+	ma.Sim.RunUntilIdle()
+	if len(coreOf) != 4 {
+		t.Fatalf("completions on %d rings, want 4 (%v)", len(coreOf), coreOf)
+	}
+	for ring, core := range coreOf {
+		if want := ma.Driver.RingCore(ring).ID; core != want {
+			t.Errorf("ring %d completion ran on core %d, want %d", ring, core, want)
+		}
+	}
+	if ma.Driver.RxWrongCore != 0 {
+		t.Fatalf("RxWrongCore = %d, want 0", ma.Driver.RxWrongCore)
+	}
+	if ma.Damn.ShardClamps() != 0 {
+		t.Fatalf("ShardClamps = %d, want 0", ma.Damn.ShardClamps())
+	}
 }

@@ -227,7 +227,11 @@ func TestWatchdogQuarantineInterplay(t *testing.T) {
 	posted := func() int {
 		n := 0
 		for ring := 0; ring < ma.NIC.Cfg.Rings; ring++ {
-			n += ma.NIC.RXPosted(ring)
+			p, err := ma.NIC.RXPosted(ring)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n += p
 		}
 		return n
 	}

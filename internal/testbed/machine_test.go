@@ -22,8 +22,8 @@ func TestNewMachineAllSchemes(t *testing.T) {
 			t.Fatalf("%s: FillAllRings: %v", scheme, err)
 		}
 		for ring := range ma.Cores {
-			if got := ma.NIC.RXPosted(ring); got != 8 {
-				t.Fatalf("%s: ring %d posted %d, want 8", scheme, ring, got)
+			if got, err := ma.NIC.RXPosted(ring); err != nil || got != 8 {
+				t.Fatalf("%s: ring %d posted %d, want 8 (err %v)", scheme, ring, got, err)
 			}
 		}
 	}

@@ -40,6 +40,7 @@ type memcachedInstance struct {
 	ma    *testbed.Machine
 	core  int
 	flow  int
+	hash  uint32
 	ops   uint64
 	seq   uint64
 	stopd bool
@@ -78,6 +79,13 @@ func RunMemcached(cfg MemcachedConfig) (MemcachedResult, error) {
 	byFlow := map[int]*memcachedInstance{}
 	for i := 0; i < cfg.Instances; i++ {
 		inst := &memcachedInstance{cfg: &cfg, ma: ma, core: i % len(ma.Cores), flow: i + 1}
+		// Memcached frames are not TCP/IPv4, so the NIC's hash unit falls
+		// back to the flow hash; an aRFS rule pins each instance's flow to
+		// the ring (= core) the server thread runs on.
+		inst.hash = netstack.RSSFlowHash(inst.flow)
+		if err := ma.NIC.SteerFlow(inst.hash, inst.core); err != nil {
+			return MemcachedResult{}, err
+		}
 		instances = append(instances, inst)
 		byFlow[inst.flow] = inst
 	}
@@ -152,7 +160,7 @@ func (in *memcachedInstance) sendRequest() {
 			} else {
 				hdr[0] = 'S'
 			}
-			in.ma.NIC.InjectRX(port, in.core, device.Segment{Flow: in.flow, Len: l, Header: hdr})
+			in.ma.NIC.InjectRX(port, device.Segment{Flow: in.flow, Hash: in.hash, Len: l, Header: hdr})
 			n -= l
 		}
 	}

@@ -59,21 +59,54 @@ type Generator struct {
 	segLen  int
 	src     netip.Addr
 	dst     netip.Addr
+	hash    uint32
 	seq     uint32
 	stopped bool
 }
 
-// NewGenerator builds a traffic source for one flow: segments of segLen
-// arrive on port and are steered (RSS) to ring. Each segment carries a real
-// Ethernet/IPv4/TCP header stack, so firewall hooks parse genuine protocol
-// bytes.
-func NewGenerator(ma *testbed.Machine, port, ring, flow, segLen int) *Generator {
-	return &Generator{
-		ma: ma, port: port, ring: ring, flow: flow, segLen: segLen,
+// newGen builds the flow identity shared by both generator flavours: the
+// 4-tuple, its headers' RSS hash (what the NIC's hash unit computes from
+// the wire bytes), and the segment template.
+func newGen(ma *testbed.Machine, port, flow, segLen int) *Generator {
+	g := &Generator{
+		ma: ma, port: port, flow: flow, segLen: segLen,
 		src: netip.AddrFrom4([4]byte{192, 168, byte(flow >> 8), byte(flow)}),
 		dst: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
 	}
+	g.hash = netstack.RSSHashIPv4(g.src, g.dst, uint16(10000+g.flow), 5001)
+	return g
 }
+
+// NewGenerator builds a pinned traffic source for one flow: segments of
+// segLen arrive on port and are directed to ring by an exact-match flow
+// steering rule (the aRFS analogue), so the flow lands on the core its
+// netperf instance is pinned to. Each segment carries a real
+// Ethernet/IPv4/TCP header stack, so firewall hooks parse genuine protocol
+// bytes. An out-of-range ring surfaces as an error.
+func NewGenerator(ma *testbed.Machine, port, ring, flow, segLen int) (*Generator, error) {
+	g := newGen(ma, port, flow, segLen)
+	if err := ma.NIC.SteerFlow(g.hash, ring); err != nil {
+		return nil, err
+	}
+	g.ring = ring
+	return g, nil
+}
+
+// NewRSSGenerator builds a pure-RSS traffic source: no steering rule — the
+// NIC's Toeplitz hash and indirection table place the flow, and the
+// generator merely learns the resulting ring for its flow-control polls
+// (the scaling figure's mode: many flows spread across every ring).
+func NewRSSGenerator(ma *testbed.Machine, port, flow, segLen int) *Generator {
+	g := newGen(ma, port, flow, segLen)
+	g.ring = ma.NIC.RingFor(g.hash)
+	return g
+}
+
+// Hash reports the flow's RSS hash; Ring the RX ring its segments land on.
+func (g *Generator) Hash() uint32 { return g.hash }
+
+// Ring reports the RX ring the flow's segments are delivered to.
+func (g *Generator) Ring() int { return g.ring }
 
 const (
 	// genWindow is how much wire backlog the generator keeps queued.
@@ -97,14 +130,18 @@ func (g *Generator) pump() {
 	}
 	se := g.ma.Sim
 	nic := g.ma.NIC
-	if nic.RXParked(g.ring) < genParkLimit {
+	parked, err := nic.RXParked(g.ring)
+	if err != nil {
+		return // ring vanished under us: stop offering load
+	}
+	if parked < genParkLimit {
 		for nic.WireRXBacklog(g.port) < genWindow {
 			hdr := netstack.BuildHeaders(g.src, g.dst, uint16(10000+g.flow), 5001, g.seq, g.segLen-netstack.HeaderLen)
 			g.seq += uint32(g.segLen - netstack.HeaderLen)
-			nic.InjectRX(g.port, g.ring, device.Segment{
-				Flow: g.flow, Len: g.segLen, Header: hdr,
+			nic.InjectRX(g.port, device.Segment{
+				Flow: g.flow, Hash: g.hash, Len: g.segLen, Header: hdr,
 			})
-			if nic.RXParked(g.ring) >= genParkLimit {
+			if parked, err = nic.RXParked(g.ring); err != nil || parked >= genParkLimit {
 				break
 			}
 		}
@@ -142,7 +179,11 @@ func RunNetperf(cfg NetperfConfig) (NetperfResult, error) {
 			AckCost:     cfg.bidir,
 		}
 		receivers[flow] = recv
-		gens = append(gens, NewGenerator(ma, i%ma.Model.NICPorts, core, flow, ma.Model.SegmentSize))
+		g, err := NewGenerator(ma, i%ma.Model.NICPorts, core, flow, ma.Model.SegmentSize)
+		if err != nil {
+			return NetperfResult{}, err
+		}
+		gens = append(gens, g)
 	}
 	if len(receivers) > 0 {
 		ma.Driver.OnDeliver = func(t *sim.Task, ring int, skb *netstack.SKBuff) {

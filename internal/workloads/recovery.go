@@ -130,7 +130,11 @@ func RunRecovery(cfg RecoveryConfig) (RecoveryResult, error) {
 	for i, core := range rxCores {
 		flow := i + 1
 		receivers[flow] = &netstack.Receiver{K: ma.Kernel, AckCost: true}
-		gens = append(gens, NewGenerator(ma, i%ma.Model.NICPorts, core, flow, ma.Model.SegmentSize))
+		g, err := NewGenerator(ma, i%ma.Model.NICPorts, core, flow, ma.Model.SegmentSize)
+		if err != nil {
+			return RecoveryResult{}, err
+		}
+		gens = append(gens, g)
 	}
 	ma.Driver.OnDeliver = func(t *sim.Task, ring int, skb *netstack.SKBuff) {
 		if r, ok := receivers[skb.Flow]; ok {
