@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet staticcheck build test race race-full alloc-gate bench bench-go chaos recovery scaling ci
+.PHONY: all fmt vet staticcheck build test race race-full alloc-gate bench bench-go chaos recovery scaling loss ci
 
 all: build
 
@@ -37,13 +37,14 @@ race-full:
 	$(GO) test -race -timeout 60m ./...
 
 # alloc-gate pins the zero-allocation property of the per-packet data path:
-# the DAMN alloc/free fast path, dma_map/dma_unmap under every scheme, and a
-# full RX segment through the pooled skb path must not touch the Go heap in
-# steady state. Runs in seconds; CI fails on any regression.
+# the DAMN alloc/free fast path, dma_map/dma_unmap under every scheme, a
+# full RX segment through the pooled skb path, and a full ARQ loss-recovery
+# cycle (fast retransmit included) must not touch the Go heap in steady
+# state. Runs in seconds; CI fails on any regression.
 alloc-gate:
 	$(GO) test -run 'ZeroAlloc' -count=1 .
 
-# bench regenerates BENCH_PR6.json: engine event-loop microbenchmarks
+# bench regenerates BENCH_PR7.json: engine event-loop microbenchmarks
 # (ns/op, allocs/op — the 0-alloc hot paths are regression-gated), the RSS
 # scale-out grid with its monotone-growth gates, plus the quick-suite wall
 # clock at -parallel 1 vs the parallel leg with the speedup and a
@@ -52,7 +53,7 @@ alloc-gate:
 # timesliced Ps so the report still records a genuine two-worker leg.
 bench:
 	@p=$$(nproc); [ $$p -ge 2 ] || p=2; \
-	set -x; $(GO) run ./cmd/benchreport -out BENCH_PR6.json -procs $$p -parallel $$p
+	set -x; $(GO) run ./cmd/benchreport -out BENCH_PR7.json -procs $$p -parallel $$p
 
 # bench-go runs the full go-test benchmark tiers: data-structure micro
 # benchmarks, engine micro benchmarks, one macro benchmark per paper figure,
@@ -81,4 +82,13 @@ scaling:
 	$(GO) test -race -timeout 10m -run 'TestScaling|TestNAPIRunsOnRingCore|TestRXPathZeroAllocMultiRing' \
 		./internal/experiments/... ./internal/netstack/... .
 
-ci: fmt vet build race chaos recovery scaling
+# The loss-resilience suite: the ARQ transport's unit tests, the lossy-link
+# workload and figure (goodput recovery, seed replay, serial-vs-parallel
+# byte identity), the watchdog × retransmit × recovery interplay gate, and
+# the retransmit-path allocation gate — all under the race detector.
+loss:
+	$(GO) run -race ./cmd/damnbench -quick -exp loss
+	$(GO) test -race -timeout 15m -run 'TestArq|TestLoss|TestRetransmit' \
+		./internal/netstack/... ./internal/workloads/... ./internal/experiments/... .
+
+ci: fmt vet build race chaos recovery scaling loss

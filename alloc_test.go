@@ -7,6 +7,7 @@
 package damn_test
 
 import (
+	"net/netip"
 	"testing"
 
 	damn "github.com/asplos18/damn"
@@ -109,6 +110,73 @@ func TestRXPathZeroAlloc(t *testing.T) {
 	}
 	if recv.Segments < 700 {
 		t.Fatalf("receiver saw %d segments; the path under test did not run", recv.Segments)
+	}
+}
+
+// TestRetransmitPathZeroAlloc gates the ARQ loss-recovery cycle: every
+// iteration loses a segment, detects the hole by duplicate ACKs, fast
+// retransmits through the same injection path, reorders/flushes at the
+// receiver, and returns the cumulative ACK through the real TX DMA path.
+// After warmup the whole cycle — pooled ARQ segments, header rebuilds into
+// the embedded buffer, reorder-window bookkeeping, pooled ACK transmissions
+// and the lazily re-armed RTO timer — must not touch the Go heap.
+func TestRetransmitPathZeroAlloc(t *testing.T) {
+	ma, err := testbed.NewMachine(testbed.MachineConfig{
+		Scheme:   testbed.SchemeDAMN,
+		MemBytes: 256 << 20,
+		Cores:    2,
+		RingSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ma.FillAllRings(); err != nil {
+		t.Fatal(err)
+	}
+	src := netip.AddrFrom4([4]byte{192, 168, 0, 1})
+	dst := netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	const segLen = 1500
+	dropNext := false
+	var arq *netstack.ArqSender
+	arq = netstack.NewArqSender(ma.Sim, netstack.ArqConfig{SegLen: segLen},
+		func(seg *netstack.ArqSegment, retx bool) {
+			if !retx {
+				payload := seg.Len - netstack.HeaderLen
+				byteSeq := (seg.Seq - 1) * uint32(payload)
+				seg.Hdr = netstack.AppendHeaders(seg.HdrBuf(), src, dst, 10001, 5001, byteSeq, payload)
+				if dropNext {
+					dropNext = false
+					return // lost on the wire; recovery must resend it
+				}
+			}
+			ma.NIC.InjectRX(0, device.Segment{Flow: 1, Seq: seg.Seq, Len: seg.Len, Header: seg.Hdr})
+		})
+	recv := &netstack.Receiver{K: ma.Kernel}
+	rr := netstack.NewReliableReceiver(recv, ma.Driver, 0, 0, arq)
+	ma.Driver.OnDeliver = func(task *sim.Task, ring int, skb *netstack.SKBuff) {
+		rr.HandleSegment(task, skb)
+	}
+	cycle := func() {
+		// One lost segment, three successors: their duplicate ACKs trigger
+		// the fast retransmit that repairs the hole, and the final fresh
+		// ACK empties the window before the next iteration.
+		dropNext = true
+		for i := 0; i < 4; i++ {
+			arq.SendNext()
+		}
+		ma.Sim.RunUntilIdle()
+		if arq.InFlight() != 0 {
+			t.Fatalf("window not drained: %d in flight", arq.InFlight())
+		}
+	}
+	for i := 0; i < 200; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(500, cycle); allocs != 0 {
+		t.Fatalf("retransmit path allocates %.1f/cycle, want 0", allocs)
+	}
+	if arq.FastRetx < 700 || recv.Segments < 2800 {
+		t.Fatalf("path under test did not run: %d fast retx, %d segments", arq.FastRetx, recv.Segments)
 	}
 }
 

@@ -19,6 +19,10 @@
 // quarantines the device and heals the domain, and "lands" where no
 // translation means no fault records — with the IOMMU off there is nothing
 // to detect, let alone contain.
+//
+// -loss P arms P% link loss (80% clean drops, 20% corruption) on the
+// attacked machines: protection verdicts are properties of the translation
+// schemes, so they must be identical on a lossy wire.
 package main
 
 import (
@@ -55,11 +59,22 @@ func main() {
 	statsOut := flag.String("stats", "", "write per-scheme metrics snapshots to this JSON file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the attacked machines")
 	recover := flag.Bool("recovery", false, "attach the fault-domain recovery supervisor and mount a DMA-fault-storm scenario")
+	lossPct := flag.Float64("loss", 0, "link-loss percentage armed on the attacked machines (80% drop / 20% corrupt); verdicts must not change on a lossy wire")
 	flag.Parse()
 
 	var faultCfg *faults.Config
 	if *faultRate > 0 {
 		faultCfg = &faults.Config{Seed: *faultSeed, Rates: faults.UniformRates(*faultRate)}
+	}
+	if *lossPct > 0 {
+		// Link loss is noise, not an attack vector: the scenarios must reach
+		// the same verdicts over a lossy wire. Arm the two link-loss kinds on
+		// top of whatever -faults configured.
+		if faultCfg == nil {
+			faultCfg = &faults.Config{Seed: *faultSeed, Rates: map[faults.Kind]float64{}}
+		}
+		faultCfg.Rates[faults.LinkDrop] = 0.8 * *lossPct / 100
+		faultCfg.Rates[faults.LinkCorrupt] = 0.2 * *lossPct / 100
 	}
 
 	var tracer *stats.Tracer

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	damnbench [-quick] [-parallel N] [-seed N]
-//	          [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|scaling|chaos|recovery]
-//	          [-recovery] [-scaling] [-faults P] [-fault-seed N] [-stats out.json] [-trace out.trace]
+//	          [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|scaling|chaos|recovery|loss]
+//	          [-recovery] [-scaling] [-loss] [-faults P] [-fault-seed N] [-stats out.json] [-trace out.trace]
 //
 // The default full-fidelity run takes a few minutes; -quick shrinks the
 // measurement windows for a fast smoke pass. -parallel N fans each figure's
@@ -37,6 +37,13 @@
 // across one RX ring per core by the deterministic Toeplitz hash. The run
 // fails if any RX completion executes off its ring's core or any DAMN
 // request is clamped to a foreign shard.
+//
+// -loss (or -exp loss) adds the loss-resilience figure: reliable (ARQ)
+// flows per scheme over a lossy link (0–5% drop/corrupt), reporting
+// delivered goodput, retransmission rate, CPU per delivered megabyte, and
+// a chaos column where the same flows ride the uniform all-kinds fault
+// schedule under the recovery supervisor. The fault schedule is rooted at
+// -fault-seed and replays exactly.
 package main
 
 import (
@@ -58,9 +65,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	faultRate := flag.Float64("faults", 0, "per-visit fault-injection probability for every fault kind (0 = off); see internal/faults")
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule (used with -faults or -exp chaos)")
-	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5, scaling, chaos, recovery")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5, scaling, chaos, recovery, loss")
 	recover := flag.Bool("recovery", false, "fault-domain recovery: add the recovery figure to the run, and attach the device-recovery supervisor to chaos machines")
 	scaling := flag.Bool("scaling", false, "RSS scale-out: add the Gb/s vs. core-count figure to the run")
+	loss := flag.Bool("loss", false, "loss resilience: add the ARQ goodput-vs-link-loss figure to the run")
 	statsOut := flag.String("stats", "", "write per-figure metrics snapshots to this JSON file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every simulated machine")
 	flag.Parse()
@@ -84,6 +92,9 @@ func main() {
 	}
 	if *scaling {
 		want["scaling"] = true
+	}
+	if *loss {
+		want["loss"] = true
 	}
 	all := want["all"]
 

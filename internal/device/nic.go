@@ -45,7 +45,12 @@ type Segment struct {
 	// netstack.RSSHashIPv4). The indirection table maps it to an RX ring;
 	// an exact-match steering rule (SteerFlow) overrides it. Hash 0 lands
 	// on ring 0, so raw single-ring tests need no hash at all.
-	Hash   uint32
+	Hash uint32
+	// Seq is the flow's ARQ sequence number (1-based; 0 means the segment
+	// carries no ARQ state). The device treats it as opaque completion
+	// metadata — only the netstack's reliable endpoints interpret it, so
+	// legacy flows are untouched.
+	Seq    uint32
 	Len    int    // total bytes on the wire (headers + payload)
 	Header []byte // bytes the NIC actually materialises in memory
 	// WritePayload: materialise the whole payload in memory (security

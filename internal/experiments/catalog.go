@@ -129,6 +129,13 @@ func Catalog() []Figure {
 			}
 			return RenderRecovery(rows), nil
 		}},
+		{"loss", false, func(o Options) (string, error) {
+			rows, err := Loss(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderLoss(rows), nil
+		}},
 	}
 }
 

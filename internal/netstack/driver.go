@@ -286,6 +286,7 @@ func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 		skb := AdoptBuffer(d.k, d.nic.ID(), iommu.PermWrite, rb.pa, d.RxBufSize, rb.damn)
 		skb.SetReceived(comp.Seg.Len, comp.Written)
 		skb.Flow = comp.Seg.Flow
+		skb.Seq = comp.Seg.Seq
 		d.putRXBuf(rb)
 		d.RxDelivered++
 		d.rxDelivC.Inc()

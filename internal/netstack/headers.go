@@ -255,7 +255,14 @@ type Packet struct {
 // BuildHeaders marshals a full Ethernet+IPv4+TCP header stack for a
 // segment carrying payloadLen bytes of TCP payload.
 func BuildHeaders(src, dst netip.Addr, srcPort, dstPort uint16, seq uint32, payloadLen int) []byte {
-	b := make([]byte, 0, HeaderLen)
+	return AppendHeaders(make([]byte, 0, HeaderLen), src, dst, srcPort, dstPort, seq, payloadLen)
+}
+
+// AppendHeaders is BuildHeaders into a caller-supplied buffer: with
+// cap(dst) >= HeaderLen it performs no allocation, which is what keeps
+// ARQ retransmission header rebuilds off the heap.
+func AppendHeaders(dst []byte, srcAddr, dstAddr netip.Addr, srcPort, dstPort uint16, seq uint32, payloadLen int) []byte {
+	b := dst
 	b = EthHeader{
 		Dst:       [6]byte{0x02, 0, 0, 0, 0, 2},
 		Src:       [6]byte{0x02, 0, 0, 0, 0, 1},
@@ -265,8 +272,8 @@ func BuildHeaders(src, dst netip.Addr, srcPort, dstPort uint16, seq uint32, payl
 		TotalLen: uint16(IPv4HeaderLen + TCPHeaderLen + min(payloadLen, 0xFFFF-IPv4HeaderLen-TCPHeaderLen)),
 		TTL:      64,
 		Protocol: IPProtoTCP,
-		Src:      src,
-		Dst:      dst,
+		Src:      srcAddr,
+		Dst:      dstAddr,
 	}.Marshal(b)
 	b = TCPHeader{
 		SrcPort: srcPort, DstPort: dstPort,

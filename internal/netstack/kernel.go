@@ -43,8 +43,16 @@ type Kernel struct {
 	freeSKBs []*SKBuff
 	userBufs [][]byte
 
-	// Observability (nil-safe handle; see SetStats).
+	// Observability (nil-safe handles; see SetStats).
 	freeErrC *stats.Counter
+	// Receive-drop causes, split so the registry can say *why* a stream
+	// shed a segment: stack couldn't access the headers, a netfilter hook
+	// rejected it, the ARQ reorder window saw a duplicate, or the segment
+	// landed outside the reorder window entirely.
+	recvDropAccess *stats.Counter
+	recvDropFilter *stats.Counter
+	recvDropDup    *stats.Counter
+	recvDropOow    *stats.Counter
 }
 
 // getSKB pops a recycled SKBuff (or allocates the pool's first); every
@@ -83,6 +91,10 @@ func (k *Kernel) putUserBuf(b []byte) {
 // SetStats attaches a metrics registry for kernel-level error accounting.
 func (k *Kernel) SetStats(r *stats.Registry) {
 	k.freeErrC = r.Counter("netstack", "buffer_free_errors")
+	k.recvDropAccess = r.Counter("netstack", "recv_drop_access")
+	k.recvDropFilter = r.Counter("netstack", "recv_drop_filter")
+	k.recvDropDup = r.Counter("netstack", "recv_drop_dup")
+	k.recvDropOow = r.Counter("netstack", "recv_drop_out_of_window")
 }
 
 // UseDamn reports whether the DAMN allocator is deployed.

@@ -58,6 +58,8 @@ type SKBuff struct {
 
 	// Flow tags the TCP flow the segment belongs to (demux key).
 	Flow int
+	// Seq is the ARQ sequence number carried by the segment (0: none).
+	Seq uint32
 	// Owner carries the sending endpoint through the TX ring for
 	// completion dispatch.
 	Owner any

@@ -20,14 +20,31 @@ type Receiver struct {
 	// AckCost charges the bidirectional ACK-competition cost (§6.1).
 	AckCost bool
 
-	// Stats.
+	// Stats. Dropped is the total; the per-cause splits below (and their
+	// stats-registry counterparts, see Kernel.SetStats) say why.
 	Bytes    uint64
 	Segments uint64
 	Dropped  uint64
+	// DroppedAccess counts segments the stack could not even look at
+	// (header access failed — e.g. safe-copy allocation failure under an
+	// injected AllocFail).
+	DroppedAccess uint64
+	// DroppedFilter counts segments a netfilter hook rejected.
+	DroppedFilter uint64
 }
 
 // HandleSegment consumes one received skb; runs in interrupt context.
 func (r *Receiver) HandleSegment(t *sim.Task, skb *SKBuff) {
+	r.chargeSegment(t)
+	if !r.process(t, skb) {
+		return
+	}
+	r.deliver(t, skb)
+}
+
+// chargeSegment pays the per-segment interrupt-context cost (stack
+// processing plus the per-figure calibration knobs).
+func (r *Receiver) chargeSegment(t *sim.Task) {
 	m := r.K.Model
 	perf.Charge(t, m.RXSegCycles+r.ExtraCycles)
 	if r.Wakeup {
@@ -36,21 +53,35 @@ func (r *Receiver) HandleSegment(t *sim.Task, skb *SKBuff) {
 	if r.AckCost {
 		perf.Charge(t, m.AckCycles)
 	}
+}
+
+// process runs header access and netfilter; on failure it frees the skb,
+// records the drop cause, and returns false.
+func (r *Receiver) process(t *sim.Task, skb *SKBuff) bool {
+	m := r.K.Model
 	// The stack reads the headers — under DAMN this is the accessor
 	// interposition that copies them out of the device's reach (§5.2).
 	hdrLen := m.DamnHeaderBytes
 	if _, err := skb.Access(t, hdrLen); err != nil {
 		r.Dropped++
+		r.DroppedAccess++
+		r.K.recvDropAccess.Inc()
 		skb.Free(t)
-		return
+		return false
 	}
 	if r.K.Netfilter.Run(t, skb) == Drop {
 		r.Dropped++
+		r.DroppedFilter++
+		r.K.recvDropFilter.Inc()
 		skb.Free(t)
-		return
+		return false
 	}
-	// The application's read(): the user-boundary copy that makes the
-	// payload unreachable by the device.
+	return true
+}
+
+// deliver performs the application's read() — the user-boundary copy that
+// makes the payload unreachable by the device — and frees the skb.
+func (r *Receiver) deliver(t *sim.Task, skb *SKBuff) {
 	skb.CopyToUser(t, skb.Len())
 	r.Bytes += uint64(skb.Len())
 	r.Segments++
