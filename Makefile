@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet staticcheck build test race race-full alloc-gate bench bench-go chaos recovery scaling loss ci
+.PHONY: all fmt vet staticcheck build test race race-full alloc-gate bench bench-go chaos recovery scaling loss topo ci
 
 all: build
 
@@ -36,24 +36,27 @@ race:
 race-full:
 	$(GO) test -race -timeout 60m ./...
 
-# alloc-gate pins the zero-allocation property of the per-packet data path:
-# the DAMN alloc/free fast path, dma_map/dma_unmap under every scheme, a
-# full RX segment through the pooled skb path, and a full ARQ loss-recovery
-# cycle (fast retransmit included) must not touch the Go heap in steady
-# state. Runs in seconds; CI fails on any regression.
+# alloc-gate pins the zero-allocation property of the per-packet data path
+# and the engine's cancel-heavy ticker churn: the DAMN alloc/free fast path,
+# dma_map/dma_unmap under every scheme, a full RX segment through the pooled
+# skb path, a full ARQ loss-recovery cycle (fast retransmit included) and a
+# ticker start/stop storm must not touch the Go heap in steady state. Runs
+# in seconds; CI fails on any regression.
 alloc-gate:
 	$(GO) test -run 'ZeroAlloc' -count=1 .
 
-# bench regenerates BENCH_PR7.json: engine event-loop microbenchmarks
+# bench regenerates BENCH_PR8.json: engine event-loop microbenchmarks
 # (ns/op, allocs/op — the 0-alloc hot paths are regression-gated), the RSS
-# scale-out grid with its monotone-growth gates, plus the quick-suite wall
-# clock at -parallel 1 vs the parallel leg with the speedup and a
-# byte-identity check between the two runs. benchreport refuses to capture
-# at gomaxprocs 1; on a single-CPU host this target oversubscribes to two
-# timesliced Ps so the report still records a genuine two-worker leg.
+# scale-out grid with its monotone-growth gates, the 4-machine topology
+# wall-clock scaling leg (serial vs one-worker-per-machine, byte-compared,
+# speedup-gated on multi-CPU hosts), plus the quick-suite wall clock at
+# -parallel 1 vs the parallel leg with the speedup and a byte-identity
+# check between the two runs. benchreport refuses to capture at gomaxprocs
+# 1; on a single-CPU host this target oversubscribes to two timesliced Ps
+# so the report still records a genuine two-worker leg.
 bench:
 	@p=$$(nproc); [ $$p -ge 2 ] || p=2; \
-	set -x; $(GO) run ./cmd/benchreport -out BENCH_PR7.json -procs $$p -parallel $$p
+	set -x; $(GO) run ./cmd/benchreport -out BENCH_PR8.json -procs $$p -parallel $$p
 
 # bench-go runs the full go-test benchmark tiers: data-structure micro
 # benchmarks, engine micro benchmarks, one macro benchmark per paper figure,
@@ -91,4 +94,15 @@ loss:
 	$(GO) test -race -timeout 15m -run 'TestArq|TestLoss|TestRetransmit' \
 		./internal/netstack/... ./internal/workloads/... ./internal/experiments/... .
 
-ci: fmt vet build race chaos recovery scaling loss
+# The multi-machine topology suite under the race detector: the sharded
+# conservative-parallel executor's serial-vs-parallel identity bars (cluster
+# primitives, ring/incast/memcached workloads, the cluster figure), the
+# cross-machine DAMN conservation audit, the fault plane on topologies, and
+# the chaos schedule goldens that pin the Link wire-model refactor.
+topo:
+	$(GO) run -race ./cmd/damnbench -quick -exp cluster -topo-workers 4
+	$(GO) test -race -timeout 15m -run 'TestCluster|TestRing|TestIncast|TestMemcachedCluster|TestChaosScheduleGolden|TestLink' \
+		./internal/sim/... ./internal/device/... ./internal/topo/... \
+		./internal/workloads/... ./internal/experiments/...
+
+ci: fmt vet build race chaos recovery scaling loss topo

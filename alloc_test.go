@@ -19,6 +19,28 @@ import (
 	"github.com/asplos18/damn/internal/testbed"
 )
 
+// TestCancelStormZeroAlloc gates the engine's cancel-heavy ticker churn: a
+// start-ticker / schedule / stop-ticker / drain cycle must recycle the
+// ticker and its event through the engine free lists instead of allocating
+// a fresh ticker, stop closure and event per iteration (319 ns and 4
+// allocs/op before the ticker free list).
+func TestCancelStormZeroAlloc(t *testing.T) {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	cycle := func() {
+		stop := e.Every(sim.Microsecond, fn)
+		e.After(sim.Microsecond/2, fn)
+		stop()
+		e.RunUntilIdle()
+	}
+	for i := 0; i < 100; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(1000, cycle); allocs != 0 {
+		t.Fatalf("cancel storm allocates %.1f/op, want 0", allocs)
+	}
+}
+
 // TestDamnAllocFreeZeroAlloc gates the damn_alloc/damn_free fast path: after
 // the first allocation warms the chunk, magazines and region shard, the
 // per-buffer cycle must not touch the Go heap.

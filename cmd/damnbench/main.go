@@ -4,8 +4,9 @@
 // Usage:
 //
 //	damnbench [-quick] [-parallel N] [-seed N]
-//	          [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|scaling|chaos|recovery|loss]
-//	          [-recovery] [-scaling] [-loss] [-faults P] [-fault-seed N] [-stats out.json] [-trace out.trace]
+//	          [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|scaling|chaos|recovery|loss|cluster]
+//	          [-recovery] [-scaling] [-loss] [-cluster] [-topo-workers N]
+//	          [-faults P] [-fault-seed N] [-stats out.json] [-trace out.trace]
 //
 // The default full-fidelity run takes a few minutes; -quick shrinks the
 // measurement windows for a fast smoke pass. -parallel N fans each figure's
@@ -44,6 +45,13 @@
 // a chaos column where the same flows ride the uniform all-kinds fault
 // schedule under the recovery supervisor. The fault schedule is rooted at
 // -fault-seed and replays exactly.
+//
+// -cluster (or -exp cluster) adds the multi-machine cluster figure: per
+// scheme, a 4-sender incast storm through a tail-dropping router and a
+// 2-client/2-server memcached cluster behind a load balancer, both on the
+// sharded conservative-parallel topology engine. -topo-workers N advances
+// N machines concurrently inside lookahead epochs; the figure's rows are
+// byte-identical for any value (1 = serial reference).
 package main
 
 import (
@@ -65,16 +73,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	faultRate := flag.Float64("faults", 0, "per-visit fault-injection probability for every fault kind (0 = off); see internal/faults")
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule (used with -faults or -exp chaos)")
-	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5, scaling, chaos, recovery, loss")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5, scaling, chaos, recovery, loss, cluster")
 	recover := flag.Bool("recovery", false, "fault-domain recovery: add the recovery figure to the run, and attach the device-recovery supervisor to chaos machines")
 	scaling := flag.Bool("scaling", false, "RSS scale-out: add the Gb/s vs. core-count figure to the run")
 	loss := flag.Bool("loss", false, "loss resilience: add the ARQ goodput-vs-link-loss figure to the run")
+	cluster := flag.Bool("cluster", false, "multi-machine topologies: add the incast + memcached cluster figure to the run")
+	topoWorkers := flag.Int("topo-workers", 1, "host workers advancing a topology's machines in parallel (output is identical for any value)")
 	statsOut := flag.String("stats", "", "write per-figure metrics snapshots to this JSON file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every simulated machine")
 	flag.Parse()
 
 	opts := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel,
-		FaultRate: *faultRate, FaultSeed: *faultSeed, Recovery: *recover}
+		TopoWorkers: *topoWorkers,
+		FaultRate:   *faultRate, FaultSeed: *faultSeed, Recovery: *recover}
 	var snaps map[string]stats.Snapshot
 	if *statsOut != "" {
 		snaps = map[string]stats.Snapshot{}
@@ -95,6 +106,9 @@ func main() {
 	}
 	if *loss {
 		want["loss"] = true
+	}
+	if *cluster {
+		want["cluster"] = true
 	}
 	all := want["all"]
 

@@ -32,6 +32,12 @@ type TXDesc struct {
 	IOVA   iommu.IOVA
 	Size   int
 	Cookie any
+	// Seg describes the frame for the far end of the wire. A standalone
+	// machine's egress link is unterminated, so the zero value costs
+	// nothing; topologies fill it (from the skb) so the receiving machine
+	// gets real flow/hash/sequence metadata without the device parsing
+	// payload bytes it never materialised.
+	Seg Segment
 }
 
 // Segment is a unit of wire traffic after LRO aggregation (RX) or before
@@ -50,7 +56,16 @@ type Segment struct {
 	// carries no ARQ state). The device treats it as opaque completion
 	// metadata — only the netstack's reliable endpoints interpret it, so
 	// legacy flows are untouched.
-	Seq    uint32
+	Seq uint32
+	// Meta is opaque application metadata carried end to end (the cluster
+	// workloads encode request op/slot/client here, standing in for the
+	// application header bytes the simulation doesn't materialise).
+	Meta uint32
+	// Stamp is the sender-side wire timestamp of a forwarded segment —
+	// when its last byte left the sending NIC. Receivers use it for
+	// cross-machine latency measurement; locally injected traffic leaves
+	// it zero.
+	Stamp  sim.Time
 	Len    int    // total bytes on the wire (headers + payload)
 	Header []byte // bytes the NIC actually materialises in memory
 	// WritePayload: materialise the whole payload in memory (security
@@ -95,9 +110,11 @@ type NIC struct {
 	model *perf.Model
 	membw *sim.MemController
 
-	// Per-port, per-direction wire pacing.
-	rxWire []*sim.FluidResource
-	txWire []*sim.FluidResource
+	// Per-port, per-direction wire links: ingress terminates at this NIC
+	// (traffic generators inject into it), egress is unterminated on a
+	// standalone machine and wired to a peer NIC or router by a topology.
+	ingress []*Link
+	egress  []*Link
 	// PCIe per direction, plus the aggregate bus ceiling.
 	pcieRX  *sim.FluidResource
 	pcieTX  *sim.FluidResource
@@ -254,10 +271,11 @@ func NewNIC(se *sim.Engine, u *iommu.IOMMU, model *perf.Model, membw *sim.MemCon
 		cfg.Rings = len(cores)
 	}
 	n := &NIC{Cfg: cfg, se: se, u: u, model: model, membw: membw}
-	bytesPerSec := cfg.WireGbps * 1e9 / 8
 	for p := 0; p < cfg.Ports; p++ {
-		n.rxWire = append(n.rxWire, sim.NewFluidResource(fmt.Sprintf("nic%d-port%d-rx", cfg.ID, p), bytesPerSec))
-		n.txWire = append(n.txWire, sim.NewFluidResource(fmt.Sprintf("nic%d-port%d-tx", cfg.ID, p), bytesPerSec))
+		in := NewLink(fmt.Sprintf("nic%d-port%d-rx", cfg.ID, p), se, cfg.WireGbps)
+		in.nic, in.nicPort, in.sink = n, p, false
+		n.ingress = append(n.ingress, in)
+		n.egress = append(n.egress, NewLink(fmt.Sprintf("nic%d-port%d-tx", cfg.ID, p), se, cfg.WireGbps))
 	}
 	pcieBytes := cfg.PCIeGbps * 1e9 / 8
 	n.pcieRX = sim.NewFluidResource("pcie-rx", pcieBytes)
@@ -315,9 +333,14 @@ func (n *NIC) RingCore(ring int) *sim.Core { return n.ringCores[ring] }
 func (n *NIC) ID() int { return n.Cfg.ID }
 
 // SetFaults attaches the machine's fault-injection plane: netem-style link
-// impairments on ingress (drop/corrupt/duplicate/reorder) and delayed/lost
-// completion interrupts on delivery.
-func (n *NIC) SetFaults(inj *faults.Injector) { n.inj = inj }
+// impairments at this machine's ingress links (drop/corrupt/duplicate/
+// reorder) and delayed/lost completion interrupts on delivery.
+func (n *NIC) SetFaults(inj *faults.Injector) {
+	n.inj = inj
+	for _, l := range n.ingress {
+		l.inj = inj
+	}
+}
 
 // OnRX registers the driver's receive interrupt handler.
 func (n *NIC) OnRX(h func(t *sim.Task, ring int, comps []RXCompletion)) { n.rxHandler = h }
@@ -435,50 +458,58 @@ func (n *NIC) RXParked(ring int) (int, error) {
 
 // WireRXBacklog returns how far a port's inbound wire has fallen behind —
 // the generator's pacing signal.
-func (n *NIC) WireRXBacklog(port int) sim.Time { return n.rxWire[port].Backlog(n.se.Now()) }
+func (n *NIC) WireRXBacklog(port int) sim.Time { return n.ingress[port].Backlog(n.se.Now()) }
 
 // WireTXBacklog is the outbound equivalent.
-func (n *NIC) WireTXBacklog(port int) sim.Time { return n.txWire[port].Backlog(n.se.Now()) }
+func (n *NIC) WireTXBacklog(port int) sim.Time { return n.egress[port].Backlog(n.se.Now()) }
 
-// InjectRX simulates a segment arriving on a port. The NIC steers it to an
-// RX ring by its RSS hash (indirection table, or an exact-match steering
-// rule); the wire, PCIe and memory-bandwidth resources pace the DMA; the
-// payload lands through the IOMMU; then the ring's bound core takes an
-// interrupt. With fault injection on, the segment first passes the
-// netem-style link impairments: drop, corrupt, duplicate, reorder.
+// Ingress returns the link terminating at a port — where a topology (or a
+// traffic generator) feeds this machine.
+func (n *NIC) Ingress(port int) *Link { return n.ingress[port] }
+
+// Egress returns the link a port transmits onto; a topology connects it to
+// a peer NIC or router port.
+func (n *NIC) Egress(port int) *Link { return n.egress[port] }
+
+// InjectRX simulates a segment arriving on a port: it enters the port's
+// ingress link, which carries the wire pacing and netem-style impairments
+// (see Link.Inject), and lands in an RX ring steered by its RSS hash. The
+// PCIe and memory-bandwidth resources then pace the DMA; the payload lands
+// through the IOMMU; then the ring's bound core takes an interrupt.
 func (n *NIC) InjectRX(port int, seg Segment) {
+	n.ingress[port].Inject(seg)
+}
+
+// arriveFromWire lands a segment forwarded across a terminated link: the
+// sender already paid serialization and propagation, so what remains is
+// this machine's receive side — quarantine fence, the receiving fault
+// plane's link impairments, RSS steering, and delivery. Mirrors
+// Link.Inject without the wire reservation (a forwarded segment's wire
+// time was charged on the sending link; charging it again would halve the
+// usable cross-machine bandwidth).
+func (n *NIC) arriveFromWire(l *Link, seg Segment) {
 	ring := n.RingFor(seg.Hash)
 	if n.quarantined {
-		// A fenced (or absent) device terminates the link: the segment
-		// still occupies the wire (the remote sender cannot know), then
-		// dies at the fence — consuming no host resources and drawing no
-		// fault-injection decisions. Charging wire time keeps the link
-		// paced; otherwise a generator polling the backlog would spin.
-		n.rxWire[port].Reserve(n.se.Now(), float64(seg.Len))
 		n.RxQuarantineDrops++
 		n.quarDropC.Inc()
 		return
 	}
-	if n.inj.Should(faults.LinkDrop) {
-		// Lost on the wire: consumes no host resources, leaves no trace
-		// but the injection counter — the stack sees a silent gap.
+	if l.inj.Should(faults.LinkDrop) {
+		l.Drops++
 		return
 	}
-	if n.inj.Should(faults.LinkCorrupt) {
+	if l.inj.Should(faults.LinkCorrupt) {
 		seg.Corrupt = true
 	}
-	if n.inj.Should(faults.LinkDuplicate) {
-		// The duplicate pays its own wire time, like a real re-sent frame.
+	if l.inj.Should(faults.LinkDuplicate) {
 		dup := seg
-		dupDone := n.rxWire[port].Reserve(n.se.Now(), float64(dup.Len))
-		n.scheduleArrival(dupDone, ring, dup)
+		n.scheduleArrival(n.se.Now(), ring, dup)
 	}
-	wireDone := n.rxWire[port].Reserve(n.se.Now(), float64(seg.Len))
-	if n.inj.Should(faults.LinkReorder) {
-		// Hold the segment back so traffic behind it overtakes.
-		wireDone += n.inj.Duration(faults.LinkReorder, 1*sim.Microsecond, 50*sim.Microsecond)
+	at := n.se.Now()
+	if l.inj.Should(faults.LinkReorder) {
+		at += l.inj.Duration(faults.LinkReorder, 1*sim.Microsecond, 50*sim.Microsecond)
 	}
-	n.scheduleArrival(wireDone, ring, seg)
+	n.scheduleArrival(at, ring, seg)
 }
 
 // rxArrival carries one segment across its wire time: InjectRX schedules the
@@ -756,7 +787,7 @@ func (n *NIC) PostTX(ring, port int, desc TXDesc) error {
 		n.faultC.Inc()
 	}
 
-	wireDone := n.txWire[port].Reserve(done, float64(desc.Size))
+	wireDone := n.egress[port].Reserve(done, desc.Size)
 	n.TxSegments++
 	n.TxBytes += uint64(desc.Size)
 	n.txSegC.Inc()
@@ -766,6 +797,11 @@ func (n *NIC) PostTX(ring, port int, desc TXDesc) error {
 	d.ring = ring
 	d.descs[0] = desc
 	n.se.At(wireDone, d.fire)
+	if eg := n.egress[port]; eg.HasPeer() && desc.Seg.Len > 0 {
+		seg := desc.Seg
+		seg.Stamp = wireDone
+		eg.Forward(wireDone, seg)
+	}
 	return nil
 }
 

@@ -136,6 +136,13 @@ func Catalog() []Figure {
 			}
 			return RenderLoss(rows), nil
 		}},
+		{"cluster", false, func(o Options) (string, error) {
+			rows, err := Cluster(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderCluster(rows), nil
+		}},
 	}
 }
 

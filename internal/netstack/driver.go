@@ -287,6 +287,9 @@ func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 		skb.SetReceived(comp.Seg.Len, comp.Written)
 		skb.Flow = comp.Seg.Flow
 		skb.Seq = comp.Seg.Seq
+		skb.Hash = comp.Seg.Hash
+		skb.Meta = comp.Seg.Meta
+		skb.Stamp = comp.Seg.Stamp
 		d.putRXBuf(rb)
 		d.RxDelivered++
 		d.rxDelivC.Inc()
@@ -426,7 +429,14 @@ func (d *Driver) Transmit(t *sim.Task, ring, port int, skb *SKBuff) error {
 	if err != nil {
 		return err
 	}
-	err = d.nic.PostTX(ring, port, device.TXDesc{IOVA: v, Size: skb.Len(), Cookie: skb})
+	err = d.nic.PostTX(ring, port, device.TXDesc{IOVA: v, Size: skb.Len(), Cookie: skb,
+		Seg: device.Segment{
+			Flow: skb.Flow,
+			Hash: skb.Hash,
+			Seq:  skb.Seq,
+			Meta: skb.Meta,
+			Len:  skb.Len(),
+		}})
 	if err != nil {
 		skb.UnmapForDevice(t, dmaapi.ToDevice)
 		return err

@@ -60,6 +60,15 @@ type SKBuff struct {
 	Flow int
 	// Seq is the ARQ sequence number carried by the segment (0: none).
 	Seq uint32
+	// Hash is the RSS hash the segment carries on the wire; TX paths fill
+	// it so a forwarded segment steers correctly at the receiving machine.
+	Hash uint32
+	// Meta is opaque application metadata carried end to end (the cluster
+	// workloads encode request descriptors here).
+	Meta uint32
+	// Stamp is the sending NIC's wire timestamp on a cross-machine
+	// segment (zero for local traffic) — the receiver's latency baseline.
+	Stamp sim.Time
 	// Owner carries the sending endpoint through the TX ring for
 	// completion dispatch.
 	Owner any

@@ -99,6 +99,11 @@ type Sender struct {
 	Ring   int
 	PortID int
 	Flow   int
+	// Hash is the RSS hash stamped on outbound segments; the far end of a
+	// topology link steers by it. Zero lands on the receiver's ring 0.
+	Hash uint32
+	// Meta is opaque metadata stamped on outbound segments.
+	Meta uint32
 
 	// SegSize is the TSO aggregate (64 KiB).
 	SegSize int
@@ -173,6 +178,8 @@ func (s *Sender) pump(t *sim.Task) {
 			return
 		}
 		skb.Flow = s.Flow
+		skb.Hash = s.Hash
+		skb.Meta = s.Meta
 		skb.Owner = s
 		// The user's write(): copy at the user/kernel boundary.
 		if err := skb.CopyFromUser(t, nil, s.SegSize); err != nil {

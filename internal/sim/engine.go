@@ -61,6 +61,24 @@ type event struct {
 	// pinned events are owned by a long-lived caller (Every reuses one
 	// event for every tick); they are never returned to the free pool.
 	pinned bool
+	// tick points back to the owning ticker for pinned ticker events, so
+	// discarding a stopped ticker's cancelled event recycles the whole
+	// ticker (struct + bound closures) instead of leaking it to the GC.
+	tick *ticker
+}
+
+// ticker is the reusable state behind Every: one pinned event, the wrapper
+// and stop closures bound once at construction, and the per-use callback.
+// Stopped tickers return to the engine's free list, so a start/stop ticker
+// storm allocates nothing at steady state.
+type ticker struct {
+	e       *Engine
+	ev      event
+	fn      func()
+	period  Time
+	stopped bool
+	tickFn  func()
+	stopFn  func()
 }
 
 type eventHeap []*event
@@ -95,6 +113,8 @@ type Engine struct {
 	// allocates nothing at steady state (the pool grows to the peak number
 	// of in-flight events and no further).
 	free []*event
+	// freeTickers recycles stopped tickers the same way (see Every).
+	freeTickers []*ticker
 
 	processed uint64
 	cancelled int // cancelled events still sitting in the heap
@@ -172,14 +192,26 @@ func (e *Engine) enqueue(ev *event, t Time) {
 }
 
 // release returns a popped event to the free pool. Pinned events stay owned
-// by their ticker; everything else drops its closure (so the pool retains no
-// callbacks) and becomes reusable.
+// by their ticker — but a stopped ticker's event leaving the heap for the
+// last time (cancelled pop, or compaction) is the ticker's terminal point,
+// so the ticker itself is recycled there. Everything else drops its closure
+// (so the pool retains no callbacks) and becomes reusable.
 func (e *Engine) release(ev *event) {
 	if ev.pinned {
+		if tk := ev.tick; tk != nil && tk.stopped {
+			e.recycleTicker(tk)
+		}
 		return
 	}
 	ev.fn = nil
 	e.free = append(e.free, ev)
+}
+
+// recycleTicker returns a stopped ticker to the free list, dropping the
+// caller's callback so the list retains nothing.
+func (e *Engine) recycleTicker(tk *ticker) {
+	tk.fn = nil
+	e.freeTickers = append(e.freeTickers, tk)
 }
 
 // cancel neutralizes a queued event: it will be discarded on pop without
@@ -234,25 +266,46 @@ func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 // event, so a stopped ticker no longer shows up in Pending() and never
 // inflates Processed(). Stopping from inside fn is allowed.
 //
-// The ticker owns a single pinned event and one wrapper closure for its
-// whole lifetime: each tick re-enqueues the same struct, so steady-state
-// ticking allocates nothing.
+// The ticker owns a single pinned event and two closures bound once at
+// construction: each tick re-enqueues the same struct, so steady-state
+// ticking allocates nothing. Stopped tickers are recycled through a free
+// list once their cancelled event leaves the heap, so a start/stop ticker
+// storm is allocation-free too. Repeated calls of the same stop handle are
+// no-ops until a later Every reuses the ticker; a stale handle held across
+// that reuse must not be called (it would stop the new ticker).
 func (e *Engine) Every(period Time, fn func()) (stop func()) {
-	ev := &event{pinned: true}
-	stopped := false
-	ev.fn = func() {
-		fn()
-		if !stopped {
-			e.enqueue(ev, e.now+period)
+	var tk *ticker
+	if n := len(e.freeTickers); n > 0 {
+		tk = e.freeTickers[n-1]
+		e.freeTickers[n-1] = nil
+		e.freeTickers = e.freeTickers[:n-1]
+	} else {
+		tk = &ticker{e: e}
+		tk.ev.pinned = true
+		tk.ev.tick = tk
+		tk.tickFn = func() {
+			tk.fn()
+			if !tk.stopped {
+				tk.e.enqueue(&tk.ev, tk.e.now+tk.period)
+				return
+			}
+			// Stopped from inside fn: the event is already out of the
+			// heap, so this is the ticker's terminal point.
+			tk.e.recycleTicker(tk)
 		}
-	}
-	e.enqueue(ev, e.now+period)
-	return func() {
-		if !stopped {
-			stopped = true
-			e.cancel(ev)
+		tk.stopFn = func() {
+			if !tk.stopped {
+				tk.stopped = true
+				tk.e.cancel(&tk.ev)
+			}
 		}
+		tk.ev.fn = tk.tickFn
 	}
+	tk.fn = fn
+	tk.period = period
+	tk.stopped = false
+	e.enqueue(&tk.ev, e.now+period)
+	return tk.stopFn
 }
 
 // Run processes events until the queue drains or simulated time reaches

@@ -71,6 +71,11 @@ type MachineConfig struct {
 	// every fault point a single predictable-false nil check — the
 	// fault-free numbers are bit-identical to a build without the plane.
 	Faults *faults.Config
+	// Engine, when non-nil, builds the machine on an existing event
+	// engine instead of a private one — how a topology places each
+	// machine on its cluster shard. Seed is ignored in that case (the
+	// shard's engine already owns the RNG).
+	Engine *sim.Engine
 }
 
 // Machine is one fully assembled testbed.
@@ -134,7 +139,10 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	se := sim.NewEngine(cfg.Seed)
+	se := cfg.Engine
+	if se == nil {
+		se = sim.NewEngine(cfg.Seed)
+	}
 	u := iommu.New(m)
 	membw := sim.NewMemController(model.MemBWBytesPerSec)
 	membw.Attach(se)

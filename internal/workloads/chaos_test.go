@@ -143,6 +143,42 @@ func TestChaosZeroRateMatchesBaseline(t *testing.T) {
 	}
 }
 
+// TestChaosScheduleGolden pins the exact fault schedules across the wire-
+// model refactor that moved the link impairment draws from the NIC's
+// InjectRX onto device.Link. The constants were captured immediately before
+// the move; a digest, count or throughput change here means the per-kind
+// RNG streams shifted or the draw order on the injection path changed —
+// both break replay of every recorded -faults run.
+func TestChaosScheduleGolden(t *testing.T) {
+	for _, g := range []struct {
+		seed     int64
+		rate     float64
+		digest   uint64
+		injected uint64
+		gbps     float64
+	}{
+		{42, 0.003, 0x9b0b9076c9973fe1, 657, 195.7167104},
+		{7, 0.01, 0xa8d03cab8d47c93b, 2193, 192.0991232},
+	} {
+		res, err := RunChaosNetperf(chaosCfg(g.seed, g.rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ScheduleDigest != g.digest {
+			t.Errorf("seed=%d rate=%v: digest %#x, want %#x (fault streams shifted)",
+				g.seed, g.rate, res.ScheduleDigest, g.digest)
+		}
+		if res.InjectedTotal != g.injected {
+			t.Errorf("seed=%d rate=%v: injected %d, want %d",
+				g.seed, g.rate, res.InjectedTotal, g.injected)
+		}
+		if res.Netperf.TotalGbps != g.gbps {
+			t.Errorf("seed=%d rate=%v: %.7f Gb/s, want %.7f",
+				g.seed, g.rate, res.Netperf.TotalGbps, g.gbps)
+		}
+	}
+}
+
 // TestChaosThroughputDegradesGracefully: more injected faults may only cost
 // throughput, never wedge the machine; the decline must be graceful, not a
 // cliff to zero.
