@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet staticcheck build test race race-full alloc-gate bench bench-go chaos recovery scaling loss topo ci
+.PHONY: all fmt vet staticcheck build test race race-full alloc-gate bench bench-go chaos recovery scaling loss topo tenants ci
 
 all: build
 
@@ -39,24 +39,27 @@ race-full:
 # alloc-gate pins the zero-allocation property of the per-packet data path
 # and the engine's cancel-heavy ticker churn: the DAMN alloc/free fast path,
 # dma_map/dma_unmap under every scheme, a full RX segment through the pooled
-# skb path, a full ARQ loss-recovery cycle (fast retransmit included) and a
-# ticker start/stop storm must not touch the Go heap in steady state. Runs
-# in seconds; CI fails on any regression.
+# skb path (with and without the multi-tenant capability gate installed), a
+# full ARQ loss-recovery cycle (fast retransmit included), the capability
+# check itself and a ticker start/stop storm must not touch the Go heap in
+# steady state. Runs in seconds; CI fails on any regression.
 alloc-gate:
 	$(GO) test -run 'ZeroAlloc' -count=1 .
 
-# bench regenerates BENCH_PR8.json: engine event-loop microbenchmarks
-# (ns/op, allocs/op — the 0-alloc hot paths are regression-gated), the RSS
-# scale-out grid with its monotone-growth gates, the 4-machine topology
-# wall-clock scaling leg (serial vs one-worker-per-machine, byte-compared,
-# speedup-gated on multi-CPU hosts), plus the quick-suite wall clock at
-# -parallel 1 vs the parallel leg with the speedup and a byte-identity
-# check between the two runs. benchreport refuses to capture at gomaxprocs
-# 1; on a single-CPU host this target oversubscribes to two timesliced Ps
-# so the report still records a genuine two-worker leg.
+# bench regenerates BENCH_PR9.json: engine event-loop microbenchmarks
+# (ns/op, allocs/op — the 0-alloc hot paths are regression-gated, the
+# multi-tenant capability check included), the RSS scale-out grid with its
+# monotone-growth gates, the tenants blast-radius macro with its containment
+# gates, the 4-machine topology wall-clock scaling leg (serial vs
+# one-worker-per-machine, byte-compared, speedup-gated on multi-CPU hosts),
+# plus the quick-suite wall clock at -parallel 1 vs the parallel leg with
+# the speedup and a byte-identity check between the two runs. benchreport
+# refuses to capture at gomaxprocs 1; on a single-CPU host this target
+# oversubscribes to two timesliced Ps so the report still records a genuine
+# two-worker leg.
 bench:
 	@p=$$(nproc); [ $$p -ge 2 ] || p=2; \
-	set -x; $(GO) run ./cmd/benchreport -out BENCH_PR8.json -procs $$p -parallel $$p
+	set -x; $(GO) run ./cmd/benchreport -out BENCH_PR9.json -procs $$p -parallel $$p
 
 # bench-go runs the full go-test benchmark tiers: data-structure micro
 # benchmarks, engine micro benchmarks, one macro benchmark per paper figure,
@@ -105,4 +108,13 @@ topo:
 		./internal/sim/... ./internal/device/... ./internal/topo/... \
 		./internal/workloads/... ./internal/experiments/...
 
-ci: fmt vet build race chaos recovery scaling loss topo
+# The multi-tenant suite under the race detector: the tenants figure (quick
+# mode), the capability table, the fair-share pacer and containment-ladder
+# unit tests, the blast-radius acceptance gate and the tenancy-off
+# byte-identity checks.
+tenants:
+	$(GO) run -race ./cmd/damnbench -quick -exp tenants
+	$(GO) test -race -timeout 15m -run 'TestTenan|TestLadder|TestCapability|TestFairShare|TestCapCheck' \
+		./internal/tenant/... ./internal/workloads/... ./internal/experiments/... .
+
+ci: fmt vet build race chaos recovery scaling loss topo tenants

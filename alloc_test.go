@@ -16,6 +16,8 @@ import (
 	"github.com/asplos18/damn/internal/iommu"
 	"github.com/asplos18/damn/internal/netstack"
 	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/stats"
+	"github.com/asplos18/damn/internal/tenant"
 	"github.com/asplos18/damn/internal/testbed"
 )
 
@@ -244,5 +246,81 @@ func TestRXPathZeroAllocMultiRing(t *testing.T) {
 	}
 	if ma.Driver.RxWrongCore != 0 {
 		t.Fatalf("RxWrongCore = %d, want 0", ma.Driver.RxWrongCore)
+	}
+}
+
+// TestCapCheckZeroAlloc gates the multi-tenant capability check itself: the
+// two-compare validation the driver runs before every map and unmap on a
+// tenant-owned ring. Both the accept path and the deny path (aggregate and
+// per-tenant denial counters included) must stay off the Go heap — the
+// counters are created at Register time, never on the check.
+func TestCapCheckZeroAlloc(t *testing.T) {
+	tab := tenant.NewTable(4)
+	tab.SetStats(stats.NewRegistry())
+	tab.AssignRing(0, 0)
+	tab.AssignRing(1, 1)
+	tab.Present(1, tenant.Handle{Tenant: 0}) // forged: wrong tenant
+	cycle := func() {
+		if !tab.CheckRing(0) {
+			t.Fatal("valid capability denied")
+		}
+		if tab.CheckRing(1) {
+			t.Fatal("forged capability passed")
+		}
+		if tab.CheckRing(2) { // unowned: passes uncounted
+		}
+	}
+	if allocs := testing.AllocsPerRun(1000, cycle); allocs != 0 {
+		t.Fatalf("capability check allocates %.1f/op, want 0", allocs)
+	}
+	if tab.Denials < 1000 {
+		t.Fatalf("deny path saw %d denials; the path under test did not run", tab.Denials)
+	}
+}
+
+// TestRXPathZeroAllocTenancy re-runs the RX steady-state gate with the
+// multi-tenant layer installed: the capability gate on every map/unmap and
+// the fair-share admission pacer on every DMA must not add an allocation to
+// the per-segment path. The containment poller is stopped before measuring
+// (it is control-plane cadence, not per-packet work, and RunUntilIdle never
+// drains a live ticker); the gate and the pacer stay installed.
+func TestRXPathZeroAllocTenancy(t *testing.T) {
+	ma, err := testbed.NewMachine(testbed.MachineConfig{
+		Scheme:   testbed.SchemeDAMN,
+		MemBytes: 256 << 20,
+		Cores:    2,
+		RingSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := tenant.Attach(ma, tenant.Config{})
+	if _, err := mgr.AddTenant(0, 1, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	recv := &netstack.Receiver{K: ma.Kernel}
+	ma.Driver.OnDeliver = func(task *sim.Task, ring int, skb *netstack.SKBuff) {
+		recv.HandleSegment(task, skb)
+	}
+	if err := ma.FillAllRings(); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Stop()
+	hdr := []byte("hdr:steady")
+	inject := func() {
+		ma.NIC.InjectRX(0, device.Segment{Flow: 1, Len: 9000, Header: hdr})
+		ma.Sim.RunUntilIdle()
+	}
+	for i := 0; i < 200; i++ {
+		inject()
+	}
+	if allocs := testing.AllocsPerRun(500, inject); allocs != 0 {
+		t.Fatalf("tenant-gated RX path allocates %.1f/segment, want 0", allocs)
+	}
+	if recv.Segments < 700 {
+		t.Fatalf("receiver saw %d segments; the path under test did not run", recv.Segments)
+	}
+	if mgr.Table().Checks == 0 {
+		t.Fatal("capability gate never consulted; the path under test did not run")
 	}
 }

@@ -20,6 +20,16 @@
 // translation means no fault records — with the IOMMU off there is nothing
 // to detect, let alone contain.
 //
+// With -tenants, a sixth scenario re-parents the malicious device as a
+// compromised *tenant*: two tenants share the NIC through SR-IOV-style
+// virtual functions (per-tenant IOMMU domains, DAMN generations, ring
+// pairs, capability-gated buffer handoff), and tenant 0 mounts the full
+// hostile repertoire — forged capabilities, DMA probes into its sibling's
+// IOVA ranges, a VF-filtered fault storm. The attack is "blocked" when no
+// probe reads the neighbour's memory and the containment ladder
+// quarantines (or evicts) the attacker; with the IOMMU off the virtual
+// functions run passthrough and the probes land.
+//
 // -loss P arms P% link loss (80% clean drops, 20% corruption) on the
 // attacked machines: protection verdicts are properties of the translation
 // schemes, so they must be identical on a lossy wire.
@@ -43,6 +53,7 @@ import (
 	"github.com/asplos18/damn/internal/sim"
 	"github.com/asplos18/damn/internal/stats"
 	"github.com/asplos18/damn/internal/testbed"
+	"github.com/asplos18/damn/internal/workloads"
 )
 
 type outcome struct {
@@ -59,6 +70,7 @@ func main() {
 	statsOut := flag.String("stats", "", "write per-scheme metrics snapshots to this JSON file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the attacked machines")
 	recover := flag.Bool("recovery", false, "attach the fault-domain recovery supervisor and mount a DMA-fault-storm scenario")
+	tenants := flag.Bool("tenants", false, "mount the compromised-tenant scenario: the malicious device attacks as a tenant virtual function")
 	lossPct := flag.Float64("loss", 0, "link-loss percentage armed on the attacked machines (80% drop / 20% corrupt); verdicts must not change on a lossy wire")
 	flag.Parse()
 
@@ -111,7 +123,7 @@ func main() {
 			defer wg.Done()
 			for i := range idx {
 				r := &results[i]
-				r.outs, r.snap, r.err = attack(testbed.AllSchemes[i], *seed, tracer, faultCfg, *recover)
+				r.outs, r.snap, r.err = attack(testbed.AllSchemes[i], *seed, tracer, faultCfg, *recover, *tenants)
 			}
 		}()
 	}
@@ -177,7 +189,7 @@ func writeJSONFile(path string, write func(*json.Encoder) error) error {
 	return f.Close()
 }
 
-func attack(scheme testbed.Scheme, seed int64, tracer *stats.Tracer, faultCfg *faults.Config, withRecovery bool) ([]outcome, stats.Snapshot, error) {
+func attack(scheme testbed.Scheme, seed int64, tracer *stats.Tracer, faultCfg *faults.Config, withRecovery, withTenants bool) ([]outcome, stats.Snapshot, error) {
 	ma, err := testbed.NewMachine(testbed.MachineConfig{
 		Scheme: scheme, MemBytes: 128 << 20, Seed: seed, RingSize: 8,
 		Tracer: tracer, Faults: faultCfg,
@@ -282,7 +294,38 @@ func attack(scheme testbed.Scheme, seed int64, tracer *stats.Tracer, faultCfg *f
 	if withRecovery {
 		outs = append(outs, stormOutcome(ma, attacker))
 	}
+	// 6. Compromised tenant (only with -tenants).
+	if withTenants {
+		o, err := tenantOutcome(scheme, seed)
+		if err != nil {
+			return nil, stats.Snapshot{}, err
+		}
+		outs = append(outs, o)
+	}
 	return outs, ma.StatsSnapshot(), nil
+}
+
+// tenantOutcome re-parents the attacker as a compromised tenant virtual
+// function on a fresh two-tenant machine: forged capabilities, neighbour
+// IOVA probes and a VF-filtered fault storm, with the containment ladder
+// armed. The attack lands if any probe reads the sibling's memory.
+func tenantOutcome(scheme testbed.Scheme, seed int64) (outcome, error) {
+	res, err := workloads.RunTenants(workloads.TenantsConfig{
+		Scheme: scheme, Tenants: 2, FaultSeed: seed,
+		Warmup: 1 * sim.Millisecond, Measure: 2 * sim.Millisecond,
+		Attack: true, AttackLen: 3 * sim.Millisecond,
+	})
+	if err != nil {
+		return outcome{}, err
+	}
+	if res.ProbesLanded > 0 {
+		return outcome{"tenant-probe", true, fmt.Sprintf(
+			"%d cross-tenant probes read the neighbour's memory (attacker %s)",
+			res.ProbesLanded, res.AttackerState)}, nil
+	}
+	return outcome{"tenant-probe", false, fmt.Sprintf(
+		"probes blocked (%d classified), %d forged caps denied, attacker %s",
+		res.ProbesBlocked, res.CapDenials, res.AttackerState)}, nil
 }
 
 // stormOutcome mounts a DMA-fault storm with the recovery supervisor

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	damnbench [-quick] [-parallel N] [-seed N]
-//	          [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|scaling|chaos|recovery|loss|cluster]
-//	          [-recovery] [-scaling] [-loss] [-cluster] [-topo-workers N]
+//	          [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|scaling|chaos|recovery|loss|cluster|tenants]
+//	          [-recovery] [-scaling] [-loss] [-cluster] [-tenants] [-topo-workers N]
 //	          [-faults P] [-fault-seed N] [-stats out.json] [-trace out.trace]
 //
 // The default full-fidelity run takes a few minutes; -quick shrinks the
@@ -46,6 +46,16 @@
 // schedule under the recovery supervisor. The fault schedule is rooted at
 // -fault-seed and replays exactly.
 //
+// -tenants (or -exp tenants) adds the multi-tenant isolation figure: N
+// tenants (1/2/4/8) share one protected NIC, each with its own virtual
+// function — a private IOMMU domain, DAMN cache generation and RSS ring
+// pair — behind a capability-checked buffer handoff and a weighted fair
+// share of the PCIe ceiling. For every N > 1 datapoint one tenant is
+// compromised (forged capabilities, DMA probes into sibling IOVA ranges, a
+// VF-filtered DMA-fault storm); the row reports the neighbours' worst
+// goodput ratio, where the containment ladder left the attacker, and what
+// the capability gate and per-tenant domains blocked.
+//
 // -cluster (or -exp cluster) adds the multi-machine cluster figure: per
 // scheme, a 4-sender incast storm through a tail-dropping router and a
 // 2-client/2-server memcached cluster behind a load balancer, both on the
@@ -73,11 +83,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	faultRate := flag.Float64("faults", 0, "per-visit fault-injection probability for every fault kind (0 = off); see internal/faults")
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule (used with -faults or -exp chaos)")
-	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5, scaling, chaos, recovery, loss, cluster")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5, scaling, chaos, recovery, loss, cluster, tenants")
 	recover := flag.Bool("recovery", false, "fault-domain recovery: add the recovery figure to the run, and attach the device-recovery supervisor to chaos machines")
 	scaling := flag.Bool("scaling", false, "RSS scale-out: add the Gb/s vs. core-count figure to the run")
 	loss := flag.Bool("loss", false, "loss resilience: add the ARQ goodput-vs-link-loss figure to the run")
 	cluster := flag.Bool("cluster", false, "multi-machine topologies: add the incast + memcached cluster figure to the run")
+	tenants := flag.Bool("tenants", false, "multi-tenant isolation: add the fairness + compromised-tenant blast-radius figure to the run")
 	topoWorkers := flag.Int("topo-workers", 1, "host workers advancing a topology's machines in parallel (output is identical for any value)")
 	statsOut := flag.String("stats", "", "write per-figure metrics snapshots to this JSON file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every simulated machine")
@@ -109,6 +120,9 @@ func main() {
 	}
 	if *cluster {
 		want["cluster"] = true
+	}
+	if *tenants {
+		want["tenants"] = true
 	}
 	all := want["all"]
 

@@ -83,7 +83,7 @@ func (c *dmaCache) cpu(x Ctx) *cpuCache {
 	cpu := x.CPU
 	if cpu < 0 || cpu >= len(c.perCPU) {
 		cpu = 0
-		c.d.noteShardClamp()
+		c.d.noteShardClamp(c.key.dev)
 	}
 	return c.perCPU[cpu][c.d.ctxIndex(x)]
 }
@@ -287,10 +287,10 @@ type regionShard struct {
 // per-core accounting and contention — so every clamp is counted and
 // surfaced via ShardClamps / the damn.shard_cpu_clamps stat instead of
 // disappearing silently.
-func (d *DAMN) shard(cpu int) *regionShard {
+func (d *DAMN) shard(cpu, dev int) *regionShard {
 	if cpu < 0 || cpu >= len(d.shards) {
 		cpu = 0
-		d.noteShardClamp()
+		d.noteShardClamp(dev)
 	}
 	return &d.shards[cpu]
 }
@@ -300,9 +300,9 @@ func (d *DAMN) shard(cpu int) *regionShard {
 func (d *DAMN) allocEncodedIOVA(cpu int, rights iommu.Perm, dev int) (iommu.IOVA, error) {
 	if cpu < 0 || cpu >= len(d.cfg.CoreNodes) {
 		cpu = 0
-		d.noteShardClamp()
+		d.noteShardClamp(dev)
 	}
-	s := d.shard(cpu)
+	s := d.shard(cpu, dev)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := regionKey{rights: rights, dev: dev}
@@ -324,7 +324,7 @@ func (d *DAMN) allocEncodedIOVA(cpu int, rights iommu.Perm, dev int) (iommu.IOVA
 // releaseRegionSlot returns a chunk's IOVA slot to its identity region
 // (shrinker and dead-chunk teardown paths).
 func (d *DAMN) releaseRegionSlot(cpu int, rights iommu.Perm, dev int, off uint64) {
-	s := d.shard(cpu)
+	s := d.shard(cpu, dev)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if r := s.regions[regionKey{rights: rights, dev: dev}]; r != nil {

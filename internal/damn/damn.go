@@ -157,27 +157,36 @@ type DAMN struct {
 	// gets served by a per-core magazine, depotHitC by a depot exchange,
 	// and buildC the slow path that zeroes and IOMMU-maps a fresh chunk —
 	// together they give the cache hit rate §5.4's design exists for.
-	magHitC       *stats.Counter
-	depotHitC     *stats.Counter
-	buildC        *stats.Counter
-	createdC      *stats.Counter
-	releasedC     *stats.Counter
-	shrinkRunsC   *stats.Counter
-	shrinkPagesC  *stats.Counter
-	shardClampC   *stats.Counter
-	footprintG    *stats.Gauge
-	allocCyc      *stats.FloatCounter
-	freeCyc       *stats.FloatCounter
-	refillCyc     *stats.FloatCounter
-	buildCyc      *stats.FloatCounter
-	teardownCyc   *stats.FloatCounter
-	teardownInvPS *stats.FloatCounter
+	magHitC      *stats.Counter
+	depotHitC    *stats.Counter
+	buildC       *stats.Counter
+	createdC     *stats.Counter
+	releasedC    *stats.Counter
+	shrinkRunsC  *stats.Counter
+	shrinkPagesC *stats.Counter
+	shardClampC  *stats.Counter
+	footprintG   *stats.Gauge
+	// Per-device clamp attribution: with tenants mapped to virtual
+	// functions, a noisy tenant must not hide behind the machine-global
+	// clamp counter. Guarded by clampMu (clamps are off the fast path —
+	// zero in a healthy run).
+	reg            *stats.Registry
+	clampMu        sync.Mutex
+	shardClampsBy  []uint64
+	shardClampDevC []*stats.Counter
+	allocCyc       *stats.FloatCounter
+	freeCyc        *stats.FloatCounter
+	refillCyc      *stats.FloatCounter
+	buildCyc       *stats.FloatCounter
+	teardownCyc    *stats.FloatCounter
+	teardownInvPS  *stats.FloatCounter
 }
 
 // SetStats attaches a metrics registry: the allocator records magazine and
 // depot hit rates, chunk creation/teardown, shrinker reclaim, and the
 // simulated cycles it charges per cost category.
 func (d *DAMN) SetStats(r *stats.Registry) {
+	d.reg = r
 	d.magHitC = r.Counter("damn", "magazine_hits")
 	d.depotHitC = r.Counter("damn", "depot_hits")
 	d.buildC = r.Counter("damn", "chunk_builds")
@@ -245,15 +254,48 @@ func (d *DAMN) FootprintBytes() int64 {
 	return d.footprint
 }
 
-// noteShardClamp records one out-of-range-CPU alias to shard 0.
-func (d *DAMN) noteShardClamp() {
+// noteShardClamp records one out-of-range-CPU alias to shard 0, attributed
+// to the device (and hence tenant) whose request carried the bogus CPU id.
+// dev < 0 means the caller had no device identity in scope.
+func (d *DAMN) noteShardClamp(dev int) {
 	d.shardClamps.Add(1)
 	d.shardClampC.Add(1)
+	if dev < 0 {
+		return
+	}
+	d.clampMu.Lock()
+	defer d.clampMu.Unlock()
+	for dev >= len(d.shardClampsBy) {
+		d.shardClampsBy = append(d.shardClampsBy, 0)
+	}
+	d.shardClampsBy[dev]++
+	if d.reg != nil {
+		for dev >= len(d.shardClampDevC) {
+			d.shardClampDevC = append(d.shardClampDevC, nil)
+		}
+		c := d.shardClampDevC[dev]
+		if c == nil {
+			c = d.reg.Counter("damn", fmt.Sprintf("shard_cpu_clamps_dev%d", dev))
+			d.shardClampDevC[dev] = c
+		}
+		c.Inc()
+	}
 }
 
 // ShardClamps reports how many requests carried a CPU id outside the
 // machine and were aliased to shard 0. Zero in a healthy system.
 func (d *DAMN) ShardClamps() uint64 { return d.shardClamps.Load() }
+
+// ShardClampsFor reports shard clamps attributed to one device — the
+// per-tenant flavour of ShardClamps.
+func (d *DAMN) ShardClampsFor(dev int) uint64 {
+	d.clampMu.Lock()
+	defer d.clampMu.Unlock()
+	if dev < 0 || dev >= len(d.shardClampsBy) {
+		return 0
+	}
+	return d.shardClampsBy[dev]
+}
 
 // nodeOf returns the NUMA node of a core (clamped).
 func (d *DAMN) nodeOf(cpu int) int {

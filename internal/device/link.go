@@ -156,7 +156,7 @@ func (l *Link) arrive(seg Segment) {
 func (l *Link) Inject(seg Segment) {
 	n := l.nic
 	ring := n.RingFor(seg.Hash)
-	if n.quarantined {
+	if n.RingQuarantined(ring) {
 		// A fenced (or absent) device terminates the link: the segment
 		// still occupies the wire (the remote sender cannot know), then
 		// dies at the fence — consuming no host resources and drawing no

@@ -4,6 +4,7 @@ import (
 	"bytes"
 
 	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/iova"
 	"github.com/asplos18/damn/internal/mem"
 )
 
@@ -52,6 +53,36 @@ func (m *Malicious) ScanForSecret(lo, hi iommu.IOVA, pattern []byte) (found []io
 		}
 	}
 	return found, readable
+}
+
+// ProbeNeighbor mounts the cross-tenant attack: a compromised tenant
+// function sweeps a *sibling* tenant's DAMN IOVA regions — the (cpu,
+// rights, victimDev) 1 GiB partitions of Figure 3 — attempting to read
+// pages the victim's buffers live in. With per-tenant IOMMU domains every
+// attempt faults (the attacker's domain simply has no such mapping) and is
+// classified as a blocked neighbour probe in iommu.DeviceFaultStats; with
+// the IOMMU off, probes land. Returns (blocked, landed) attempt counts.
+// cpus bounds the per-CPU regions swept and pages the pages probed per
+// region, keeping the attack's fault volume deterministic and bounded.
+func (m *Malicious) ProbeNeighbor(victimDev, cpus, pages int) (blocked, landed int) {
+	buf := make([]byte, mem.PageSize)
+	for cpu := 0; cpu < cpus; cpu++ {
+		for _, rights := range []iommu.Perm{iommu.PermRead, iommu.PermWrite, iommu.PermRead | iommu.PermWrite} {
+			base, err := iova.RegionBase(cpu, rights, victimDev)
+			if err != nil {
+				continue
+			}
+			for p := 0; p < pages; p++ {
+				v := base + iommu.IOVA(p*mem.PageSize)
+				if _, err := m.u.DMARead(m.Dev, v, buf); err != nil {
+					blocked++
+				} else {
+					landed++
+				}
+			}
+		}
+	}
+	return blocked, landed
 }
 
 // TOCTTOUFlip repeatedly attempts to overwrite [v, v+len(evil)) — the

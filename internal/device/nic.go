@@ -128,6 +128,21 @@ type NIC struct {
 	txqs  []*txRing
 	inj   *faults.Injector
 
+	// ringDevs is the DMA identity each ring uses on the bus — the SR-IOV
+	// requester ID. By default every ring carries the physical function's
+	// id (Cfg.ID); a tenant manager re-binds its rings to the tenant's
+	// virtual function, so that ring's DMAs translate in the tenant's own
+	// IOMMU domain and fault attribution lands on the tenant.
+	ringDevs []int
+	// ringQuar fences individual rings while the rest of the device keeps
+	// running — the per-VF quarantine a multi-tenant NIC needs. The
+	// whole-device quarantined flag still dominates.
+	ringQuar []bool
+	// adm, when installed, paces DMA admission per ring — the weighted
+	// fair-share scheduler on the shared PCIe/memory ceiling. Nil when
+	// tenancy is off: one pointer check on the fast path.
+	adm Admission
+
 	// ringCores binds each ring to the core whose interrupt handler serves
 	// it — the MSI-X affinity of a real multi-queue NIC. Completion and
 	// refill work for a ring always runs on its bound core, which is what
@@ -292,7 +307,9 @@ func NewNIC(se *sim.Engine, u *iommu.IOMMU, model *perf.Model, membw *sim.MemCon
 		n.rings = append(n.rings, &rxRing{})
 		n.txqs = append(n.txqs, &txRing{})
 		n.ringCores = append(n.ringCores, cores[r%len(cores)])
+		n.ringDevs = append(n.ringDevs, cfg.ID)
 	}
+	n.ringQuar = make([]bool, cfg.Rings)
 	for i := range n.rssTable {
 		n.rssTable[i] = i % cfg.Rings
 	}
@@ -328,6 +345,37 @@ func (n *NIC) SteerFlow(hash uint32, ring int) error {
 
 // RingCore returns the core bound to a ring's completion interrupt.
 func (n *NIC) RingCore(ring int) *sim.Core { return n.ringCores[ring] }
+
+// BindRingDevice re-binds a ring's DMA identity to a virtual function: from
+// now on the ring's transfers translate (and fault) as device dev. Passing
+// the NIC's own id restores physical-function behaviour.
+func (n *NIC) BindRingDevice(ring, dev int) error {
+	if ring < 0 || ring >= len(n.ringDevs) {
+		return fmt.Errorf("device: nic %d has no ring %d to bind", n.Cfg.ID, ring)
+	}
+	n.ringDevs[ring] = dev
+	return nil
+}
+
+// RingDevice reports the DMA identity a ring currently uses.
+func (n *NIC) RingDevice(ring int) int {
+	if ring < 0 || ring >= len(n.ringDevs) {
+		return n.Cfg.ID
+	}
+	return n.ringDevs[ring]
+}
+
+// Admission paces per-ring DMA admission on the shared bus: AdmitDMA
+// returns the extra delay (0 for "go now") a transfer of the given size on
+// the given ring must absorb before its DMA completes. Implemented by the
+// tenant fair-share scheduler.
+type Admission interface {
+	AdmitDMA(ring, bytes int, now sim.Time) sim.Time
+}
+
+// SetAdmission installs (or with nil removes) the per-ring DMA admission
+// pacer.
+func (n *NIC) SetAdmission(a Admission) { n.adm = a }
 
 // ID returns the NIC's device index.
 func (n *NIC) ID() int { return n.Cfg.ID }
@@ -380,6 +428,62 @@ func (n *NIC) Quarantine() (reclaim []RXDesc, parkedDropped int) {
 	return reclaim, parkedDropped
 }
 
+// QuarantineRings fences a subset of rings — the per-tenant quarantine:
+// their ingress is dropped at the wire, posting fails, no DMA is initiated,
+// while every other ring keeps line rate. Returns the posted and
+// interrupt-lost descriptors of just those rings for the driver to reclaim,
+// plus the count of flow-control-parked segments dropped. Idempotent per
+// ring.
+func (n *NIC) QuarantineRings(rings []int) (reclaim []RXDesc, parkedDropped int) {
+	for _, ring := range rings {
+		if ring < 0 || ring >= len(n.rings) {
+			continue
+		}
+		n.ringQuar[ring] = true
+		r := n.rings[ring]
+		reclaim = append(reclaim, r.descs[r.dhead:]...)
+		r.descs, r.dhead = nil, 0
+		for _, m := range r.missed {
+			reclaim = append(reclaim, m.comp.Desc)
+		}
+		r.missed = nil
+		parkedDropped += r.parked()
+		r.pending, r.phead = nil, 0
+	}
+	if parkedDropped > 0 {
+		n.RxQuarantineDrops += uint64(parkedDropped)
+		n.quarDropC.Add(uint64(parkedDropped))
+	}
+	return reclaim, parkedDropped
+}
+
+// ResumeRings lifts a per-ring quarantine once the rings' owner has been
+// re-admitted (domain re-attached, rings about to be refilled).
+func (n *NIC) ResumeRings(rings []int) error {
+	if n.removed {
+		return fmt.Errorf("device: nic %d was removed; cannot resume rings", n.Cfg.ID)
+	}
+	for _, ring := range rings {
+		if ring < 0 || ring >= len(n.ringQuar) {
+			return fmt.Errorf("device: nic %d has no ring %d to resume", n.Cfg.ID, ring)
+		}
+		n.ringQuar[ring] = false
+	}
+	return nil
+}
+
+// RingQuarantined reports whether a specific ring is fenced (by its own
+// quarantine or the whole device's).
+func (n *NIC) RingQuarantined(ring int) bool {
+	if n.quarantined {
+		return true
+	}
+	if ring < 0 || ring >= len(n.ringQuar) {
+		return false
+	}
+	return n.ringQuar[ring]
+}
+
 // Resume lifts a quarantine after the host has rebuilt the device's state
 // (domain re-attached, rings about to be refilled). A removed device cannot
 // resume — it is no longer there.
@@ -405,8 +509,8 @@ func (n *NIC) Reinsert() { n.removed = false }
 // PostRX adds receive buffers to a ring (driver side). Parked segments are
 // delivered immediately if buffers were the bottleneck.
 func (n *NIC) PostRX(ring int, descs ...RXDesc) error {
-	if n.quarantined {
-		return fmt.Errorf("device: nic %d quarantined; RX post rejected", n.Cfg.ID)
+	if n.RingQuarantined(ring) {
+		return fmt.Errorf("device: nic %d ring %d quarantined; RX post rejected", n.Cfg.ID, ring)
 	}
 	r, err := n.ring(ring)
 	if err != nil {
@@ -489,7 +593,7 @@ func (n *NIC) InjectRX(port int, seg Segment) {
 // usable cross-machine bandwidth).
 func (n *NIC) arriveFromWire(l *Link, seg Segment) {
 	ring := n.RingFor(seg.Hash)
-	if n.quarantined {
+	if n.RingQuarantined(ring) {
 		n.RxQuarantineDrops++
 		n.quarDropC.Inc()
 		return
@@ -606,7 +710,7 @@ func (n *NIC) getTXDispatch() *txDispatch {
 }
 
 func (n *NIC) tryDeliver(ring int, seg Segment) {
-	if n.quarantined {
+	if n.RingQuarantined(ring) {
 		// In-flight wire time elapsed before the quarantine hit: the
 		// segment dies at the fence instead of parking forever.
 		n.RxQuarantineDrops++
@@ -629,6 +733,7 @@ func (n *NIC) tryDeliver(ring int, seg Segment) {
 func (n *NIC) deliver(ring int, seg Segment) {
 	r := n.rings[ring]
 	desc := r.popDesc()
+	dev := n.ringDevs[ring]
 
 	now := n.se.Now()
 	done := n.pcieRX.Reserve(now, float64(seg.Len))
@@ -638,13 +743,18 @@ func (n *NIC) deliver(ring int, seg Segment) {
 	if m := perf.DeviceDMATraffic(n.membw, now, seg.Len, n.model.NICDMAMemFraction); m > done {
 		done = m
 	}
+	if n.adm != nil {
+		if extra := n.adm.AdmitDMA(ring, seg.Len, now); extra > 0 {
+			done += extra
+		}
+	}
 
 	// The actual DMA, translated by the IOMMU. The transfer touches every
 	// 4 KiB page of the segment; each IOTLB miss is a page walk that
 	// occupies the DMA pipeline (Table 3's effect).
 	missesBefore := n.u.TLB().Misses
-	written, err := n.dmaWriteSegment(desc, seg)
-	n.touchTranslations(desc.IOVA, seg.Len, true)
+	written, err := n.dmaWriteSegment(dev, desc, seg)
+	n.touchTranslations(dev, desc.IOVA, seg.Len, true)
 	misses := n.u.TLB().Misses - missesBefore
 	if misses > 0 && n.walker != nil {
 		if d2 := n.walker.Reserve(now, float64(misses)); d2 > done {
@@ -713,13 +823,13 @@ func (n *NIC) MissedCompletions(ring int) int { return len(n.rings[ring].missed)
 // touchTranslations exercises the IOMMU translation for every page a
 // transfer spans (the functional DMA only materialises a prefix, but the
 // hardware walks the whole span).
-func (n *NIC) touchTranslations(base iommu.IOVA, span int, write bool) {
-	n.u.TranslateSpan(n.Cfg.ID, base, span, write) //nolint:errcheck
+func (n *NIC) touchTranslations(dev int, base iommu.IOVA, span int, write bool) {
+	n.u.TranslateSpan(dev, base, span, write) //nolint:errcheck
 }
 
 // dmaWriteSegment writes the materialised bytes of a segment into the
-// posted buffer through the IOMMU.
-func (n *NIC) dmaWriteSegment(desc RXDesc, seg Segment) (int, error) {
+// posted buffer through the IOMMU, as the ring's bound device identity.
+func (n *NIC) dmaWriteSegment(dev int, desc RXDesc, seg Segment) (int, error) {
 	payload := seg.Header
 	if seg.WritePayload {
 		payload = seg.Payload
@@ -729,29 +839,30 @@ func (n *NIC) dmaWriteSegment(desc RXDesc, seg Segment) (int, error) {
 	}
 	if len(payload) == 0 {
 		// Still exercise the translation for the buffer start.
-		if _, err := n.u.Translate(n.Cfg.ID, desc.IOVA, true); err != nil {
+		if _, err := n.u.Translate(dev, desc.IOVA, true); err != nil {
 			return 0, err
 		}
 		return 0, nil
 	}
-	return n.u.DMAWrite(n.Cfg.ID, desc.IOVA, payload)
+	return n.u.DMAWrite(dev, desc.IOVA, payload)
 }
 
 // PostTX queues a transmit descriptor (driver side, after dma_map). The
 // NIC fetches the payload by DMA, puts it on the wire of the given port,
 // and completes back to the driver.
 func (n *NIC) PostTX(ring, port int, desc TXDesc) error {
-	if n.quarantined {
-		return fmt.Errorf("device: nic %d quarantined; TX post rejected", n.Cfg.ID)
-	}
 	if ring < 0 || ring >= len(n.txqs) {
 		return fmt.Errorf("device: nic %d has no TX ring %d (rings: %d)", n.Cfg.ID, ring, len(n.txqs))
+	}
+	if n.RingQuarantined(ring) {
+		return fmt.Errorf("device: nic %d ring %d quarantined; TX post rejected", n.Cfg.ID, ring)
 	}
 	q := n.txqs[ring]
 	if q.inFlight >= n.Cfg.TxRing {
 		return fmt.Errorf("device: TX ring %d full", ring)
 	}
 	q.inFlight++
+	dev := n.ringDevs[ring]
 
 	now := n.se.Now()
 	done := n.pcieTX.Reserve(now, float64(desc.Size))
@@ -760,6 +871,11 @@ func (n *NIC) PostTX(ring, port int, desc TXDesc) error {
 	}
 	if m := perf.DeviceDMATraffic(n.membw, now, desc.Size, n.model.NICDMAMemFraction); m > done {
 		done = m
+	}
+	if n.adm != nil {
+		if extra := n.adm.AdmitDMA(ring, desc.Size, now); extra > 0 {
+			done += extra
+		}
 	}
 
 	missesBefore := n.u.TLB().Misses
@@ -774,8 +890,8 @@ func (n *NIC) PostTX(ring, port int, desc TXDesc) error {
 		n.txProbe = make([]byte, 256)
 	}
 	buf := n.txProbe[:probe]
-	_, err := n.u.DMARead(n.Cfg.ID, desc.IOVA, buf)
-	n.touchTranslations(desc.IOVA, desc.Size, false)
+	_, err := n.u.DMARead(dev, desc.IOVA, buf)
+	n.touchTranslations(dev, desc.IOVA, desc.Size, false)
 	misses := n.u.TLB().Misses - missesBefore
 	if misses > 0 && n.walker != nil {
 		if d2 := n.walker.Reserve(now, float64(misses)); d2 > done {

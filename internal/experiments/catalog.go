@@ -143,6 +143,13 @@ func Catalog() []Figure {
 			}
 			return RenderCluster(rows), nil
 		}},
+		{"tenants", false, func(o Options) (string, error) {
+			rows, err := Tenants(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderTenants(rows), nil
+		}},
 	}
 }
 

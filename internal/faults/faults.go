@@ -128,6 +128,11 @@ type Injector struct {
 	rates  [numKinds]float64
 	rngs   [numKinds]*rand.Rand
 	counts [numKinds]uint64
+	// devFilter restricts a kind's fault points to visits attributed to one
+	// device (-1 = any). Filtered-out visits return false *without drawing*,
+	// so an unset filter is bit-identical to the unfiltered injector and a
+	// per-tenant storm never perturbs its neighbours' schedules.
+	devFilter [numKinds]int
 	// digest folds every decision of every stream into one value, so two
 	// runs can assert byte-identical fault schedules without recording
 	// them (FNV-1a over (kind, decision) pairs).
@@ -145,6 +150,7 @@ func New(cfg Config) *Injector {
 	inj := &Injector{digest: 1469598103934665603} // FNV-1a offset basis
 	for _, k := range Kinds {
 		inj.rates[k] = cfg.Rates[k]
+		inj.devFilter[k] = -1
 		// splitmix-style per-kind seed derivation keeps streams distinct
 		// even for adjacent kinds.
 		s := int64(uint64(cfg.Seed) ^ uint64(k+1)*0x9E3779B97F4A7C15)
@@ -178,6 +184,21 @@ func (inj *Injector) SetRate(k Kind, rate float64) {
 	inj.rates[k] = rate
 }
 
+// SetDeviceFilter restricts fault kind k to fault points attributed to one
+// source device; dev < 0 clears the filter. Device-attributed fault points
+// consult ShouldDev; plain Should ignores filters (its call sites carry no
+// device identity). The tenant blast-radius experiments use this to storm a
+// single virtual function while its neighbours see a fault-free schedule.
+func (inj *Injector) SetDeviceFilter(k Kind, dev int) {
+	if inj == nil {
+		return
+	}
+	if dev < 0 {
+		dev = -1
+	}
+	inj.devFilter[k] = dev
+}
+
 // Rate reports kind k's current per-visit injection probability.
 func (inj *Injector) Rate(k Kind) float64 {
 	if inj == nil {
@@ -202,6 +223,21 @@ func (inj *Injector) Should(k Kind) bool {
 	}
 	inj.digest = (inj.digest ^ (uint64(k)<<1 | bit)) * 1099511628211
 	return fired
+}
+
+// ShouldDev is Should for fault points that carry a source-device identity.
+// When kind k has a device filter installed and dev does not match, the
+// visit returns false without drawing, so the filtered kind's stream
+// advances only on target-device visits. With no filter installed ShouldDev
+// is bit-identical to Should.
+func (inj *Injector) ShouldDev(k Kind, dev int) bool {
+	if inj == nil || inj.rates[k] <= 0 {
+		return false
+	}
+	if f := inj.devFilter[k]; f >= 0 && dev != f {
+		return false
+	}
+	return inj.Should(k)
 }
 
 // Duration draws a deterministic duration in [min, max] from kind k's

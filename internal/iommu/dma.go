@@ -44,7 +44,26 @@ func (u *IOMMU) faultLocked(dev int, iova IOVA, want Perm, write, injected bool)
 	f := Fault{Dev: dev, Addr: iova, Wanted: want, Write: write}
 	u.faults = append(u.faults, f)
 	u.fq.push(FaultRecord{Fault: f, Injected: injected})
+	// A genuinely blocked DMA aimed at an address another device owns is a
+	// neighbour probe: attribute it to the prober so the attack figures have
+	// denial evidence per source. Injected faults are hardware hiccups on
+	// valid mappings, not probes.
+	if !injected && u.classify != nil {
+		if owner, ok := u.classify(dev, iova); ok && owner != dev {
+			bumpDev(&u.fq.probesBy, dev)
+			u.fq.devCounter(&u.fq.probeDevC, "neighbor_probes_blocked", dev).Inc()
+		}
+	}
 	return f
+}
+
+// SetProbeClassifier installs the IOVA-ownership decoder used to classify
+// blocked DMAs as neighbour probes (see the classify field). Passing nil
+// disables classification.
+func (u *IOMMU) SetProbeClassifier(fn func(dev int, v IOVA) (owner int, ok bool)) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.classify = fn
 }
 
 // BlockedDMAsFor reports how many DMAs from one source device the IOMMU has
@@ -72,7 +91,7 @@ func (u *IOMMU) translateLocked(dev int, iova IOVA, write bool) (mem.PhysAddr, e
 	// An injected translation fault blocks the DMA even though the mapping
 	// is valid — hardware hiccups (ATS glitches, poisoned walks) that real
 	// VT-d units report through the fault-record queue.
-	if u.inj.Should(faults.DMAFault) {
+	if u.inj.ShouldDev(faults.DMAFault, dev) {
 		return 0, u.faultLocked(dev, iova, need, write, true)
 	}
 	if e, ok := u.tlb.lookup(dev, iova); ok {

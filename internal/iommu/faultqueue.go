@@ -45,12 +45,17 @@ type FaultQueue struct {
 	// the hot path is an indexed add, not a map probe.
 	recordedBy  []uint64
 	overflowsBy []uint64
+	// probesBy counts, per source device, blocked DMAs whose target IOVA
+	// decodes to a *different* device's range — neighbour probes, the
+	// cross-tenant attack signature (see IOMMU.SetProbeClassifier).
+	probesBy []uint64
 
 	recordC    *stats.Counter
 	overflowC  *stats.Counter
 	reg        *stats.Registry
 	recordDevC []*stats.Counter
 	overDevC   []*stats.Counter
+	probeDevC  []*stats.Counter
 }
 
 func (fq *FaultQueue) setStats(r *stats.Registry) {
@@ -148,10 +153,12 @@ func (u *IOMMU) FaultQueueStats() (recorded, overflowed uint64) {
 	return u.fq.Recorded, u.fq.Overflows
 }
 
-// DeviceFaultStats reports (recorded, overflowed) fault-record counts
-// attributed to one source device. This is what lets the supervisor and the
-// stats snapshot pin a storm on a fault domain instead of the machine.
-func (u *IOMMU) DeviceFaultStats(dev int) (recorded, overflowed uint64) {
+// DeviceFaultStats reports (recorded, overflowed, probesBlocked) fault
+// counts attributed to one source device. This is what lets the supervisor,
+// the tenant manager and the stats snapshot pin a storm on a fault domain
+// instead of the machine; probesBlocked isolates the subset of blocked DMAs
+// that aimed at a sibling device's IOVA range (neighbour probes).
+func (u *IOMMU) DeviceFaultStats(dev int) (recorded, overflowed, probesBlocked uint64) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	if dev >= 0 && dev < len(u.fq.recordedBy) {
@@ -160,5 +167,8 @@ func (u *IOMMU) DeviceFaultStats(dev int) (recorded, overflowed uint64) {
 	if dev >= 0 && dev < len(u.fq.overflowsBy) {
 		overflowed = u.fq.overflowsBy[dev]
 	}
-	return recorded, overflowed
+	if dev >= 0 && dev < len(u.fq.probesBy) {
+		probesBlocked = u.fq.probesBy[dev]
+	}
+	return recorded, overflowed, probesBlocked
 }

@@ -161,11 +161,11 @@ func TestPerDeviceFaultAttribution(t *testing.T) {
 	if n := u.BlockedDMAsFor(1); n != 0 {
 		t.Fatalf("device 1 blocked DMAs = %d, want 0", n)
 	}
-	rec2, over2 := u.DeviceFaultStats(2)
+	rec2, over2, _ := u.DeviceFaultStats(2)
 	if rec2 != 5 || over2 != 0 {
 		t.Fatalf("device 2 fault stats = (%d,%d), want (5,0)", rec2, over2)
 	}
-	if rec1, _ := u.DeviceFaultStats(1); rec1 != 0 {
+	if rec1, _, _ := u.DeviceFaultStats(1); rec1 != 0 {
 		t.Fatalf("device 1 recorded %d faults, want 0", rec1)
 	}
 	snap := reg.Snapshot()
@@ -177,13 +177,13 @@ func TestPerDeviceFaultAttribution(t *testing.T) {
 	for i := 0; i < FaultRecordDepth+7; i++ {
 		u.Translate(2, 0x9000, false)
 	}
-	_, over2 = u.DeviceFaultStats(2)
+	_, over2, _ = u.DeviceFaultStats(2)
 	// 5 records were already queued, so the ring had Depth-5 free slots.
 	wantOver := uint64(7 + 5)
 	if over2 != wantOver {
 		t.Fatalf("device 2 overflows = %d, want %d", over2, wantOver)
 	}
-	if _, over1 := u.DeviceFaultStats(1); over1 != 0 {
+	if _, over1, _ := u.DeviceFaultStats(1); over1 != 0 {
 		t.Fatalf("device 1 charged %d overflows", over1)
 	}
 

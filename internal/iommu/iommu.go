@@ -134,6 +134,13 @@ type IOMMU struct {
 
 	faults []Fault
 	fq     FaultQueue
+	// classify, when installed, maps a faulting IOVA back to the device
+	// that owns it (DAMN IOVAs encode their owner). A blocked DMA whose
+	// decoded owner differs from the requester is a *neighbour probe* — a
+	// device reaching into another fault domain's address range — and is
+	// attributed per source in the fault stats. Wired by the testbed (the
+	// iova package sits above iommu, so the decoder arrives as a hook).
+	classify func(dev int, v IOVA) (owner int, ok bool)
 	// Stats the evaluation reads.
 	Mappings     uint64 // map operations
 	Unmappings   uint64 // unmap operations

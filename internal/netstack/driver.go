@@ -43,11 +43,28 @@ type Driver struct {
 	// (the ACK-clocked window opener).
 	OnTxDone func(t *sim.Task, ring int, skb *SKBuff)
 
-	// epoch is bumped on every quarantine drain. Completions carry the
-	// epoch their buffer was posted under; a completion from a previous
-	// epoch raced a teardown — its ring state is gone, so the handler
-	// reclaims the buffer without touching the (possibly rebuilt) ring.
+	// epoch is bumped on every quarantine drain (whole-device or per-ring).
+	// Each ring records the epoch value of its *own* last drain in its NAPI
+	// context, and completions carry the epoch their buffer was posted
+	// under; a completion whose epoch trails its ring's raced a teardown —
+	// its ring state is gone, so the handler reclaims the buffer without
+	// touching the (possibly rebuilt) ring. Keeping the stamp per ring is
+	// what makes a tenant quarantine surgical: draining tenant A's rings
+	// must not stale-drop tenant B's in-flight completions.
 	epoch uint64
+
+	// cap, when installed, is the capability gate on the buffer-handoff
+	// fast path: every map (RX post, TX map) and unmap (RX completion)
+	// first validates the capability presented for the ring. Nil when
+	// tenancy is off — one pointer check, so the single-tenant path is
+	// byte-identical to the pre-tenant driver.
+	cap CapGate
+
+	// ringTenants labels each ring with its owning tenant id (-1 = none).
+	// Only used for stats attribution; the DMA identity lives in the NIC's
+	// ring-device binding.
+	ringTenants   []int
+	rxWrongCoreBy []uint64
 
 	// Stats.
 	RxDelivered     uint64
@@ -63,24 +80,27 @@ type Driver struct {
 	WatchdogReaps   uint64 // completions recovered after a lost interrupt
 
 	// Observability (nil-safe handles; see SetStats).
-	rxDelivC    *stats.Counter
-	rxWrongCPUC *stats.Counter
-	rxDropC     *stats.Counter
-	rxCsumC     *stats.Counter
-	rxUnmapC    *stats.Counter
-	rxUnmapRelC *stats.Counter
-	rxStaleC    *stats.Counter
-	txUnmapC    *stats.Counter
-	txDoneC     *stats.Counter
-	watchdogC   *stats.Counter
-	wdReapedC   *stats.Counter
-	wdRefillC   *stats.Counter
+	reg           *stats.Registry
+	wrongCoreTenC []*stats.Counter
+	rxDelivC      *stats.Counter
+	rxWrongCPUC   *stats.Counter
+	rxDropC       *stats.Counter
+	rxCsumC       *stats.Counter
+	rxUnmapC      *stats.Counter
+	rxUnmapRelC   *stats.Counter
+	rxStaleC      *stats.Counter
+	txUnmapC      *stats.Counter
+	txDoneC       *stats.Counter
+	watchdogC     *stats.Counter
+	wdReapedC     *stats.Counter
+	wdRefillC     *stats.Counter
 }
 
 // SetStats attaches a metrics registry mirroring the driver's delivery and
 // drop counters, plus the degradation-path accounting (checksum drops,
 // quarantined unmap failures, watchdog recoveries).
 func (d *Driver) SetStats(r *stats.Registry) {
+	d.reg = r
 	d.rxDelivC = r.Counter("netstack", "rx_delivered")
 	d.rxWrongCPUC = r.Counter("netstack", "rx_wrong_core")
 	d.rxDropC = r.Counter("netstack", "rx_dropped")
@@ -95,13 +115,69 @@ func (d *Driver) SetStats(r *stats.Registry) {
 	d.wdRefillC = r.Counter("netstack", "watchdog_refills")
 }
 
+// CapGate is the driver-side capability check of the multi-tenant fast
+// path: before any buffer crosses the kernel/device boundary on a ring
+// (map at RX post or TX, unmap at RX completion), the gate validates the
+// capability the ring's owner currently presents. Implemented by
+// tenant.Table; a forged or revoked capability denies the handoff. The
+// check must be pure arithmetic — it sits on the 0-alloc per-packet path.
+type CapGate interface {
+	CheckRing(ring int) bool
+}
+
+// SetCapGate installs (or with nil removes) the capability gate.
+func (d *Driver) SetCapGate(g CapGate) { d.cap = g }
+
+// SetRingTenant labels a ring with its owning tenant for stats
+// attribution; tenant < 0 clears the label. The per-tenant wrong-core
+// counter (netstack/rx_wrong_core_t<id>) is created lazily on first use,
+// so machines without tenants snapshot exactly as before.
+func (d *Driver) SetRingTenant(ring, tenant int) {
+	if ring < 0 || ring >= len(d.ringTenants) {
+		return
+	}
+	d.ringTenants[ring] = tenant
+}
+
+// RxWrongCoreFor reports wrong-core completions attributed to one tenant.
+func (d *Driver) RxWrongCoreFor(tenant int) uint64 {
+	if tenant < 0 || tenant >= len(d.rxWrongCoreBy) {
+		return 0
+	}
+	return d.rxWrongCoreBy[tenant]
+}
+
+// noteWrongCore attributes wrong-core completions to the ring's tenant.
+func (d *Driver) noteWrongCore(ring int, n uint64) {
+	ten := d.ringTenants[ring]
+	if ten < 0 {
+		return
+	}
+	for ten >= len(d.rxWrongCoreBy) {
+		d.rxWrongCoreBy = append(d.rxWrongCoreBy, 0)
+	}
+	d.rxWrongCoreBy[ten] += n
+	if d.reg != nil {
+		for ten >= len(d.wrongCoreTenC) {
+			d.wrongCoreTenC = append(d.wrongCoreTenC, nil)
+		}
+		c := d.wrongCoreTenC[ten]
+		if c == nil {
+			c = d.reg.Counter("netstack", fmt.Sprintf("rx_wrong_core_t%d", ten))
+			d.wrongCoreTenC[ten] = c
+		}
+		c.Add(n)
+	}
+}
+
 // rxBuf is the driver's per-posted-buffer state, carried through the ring
 // as the descriptor cookie.
 type rxBuf struct {
 	pa    mem.PhysAddr
 	iova  iommu.IOVA
+	dev   int // DMA identity the buffer was mapped under
 	damn  bool
-	epoch uint64 // driver epoch the buffer was posted under
+	epoch uint64 // ring epoch the buffer was posted under
 }
 
 // napiCtx is one RX ring's NAPI poll context. The core is the ring's
@@ -109,10 +185,13 @@ type rxBuf struct {
 // shortfall counts descriptors missing from circulation on this ring —
 // completions consumed whose repost failed, plus initial-fill gaps. The
 // watchdog restores exactly this deficit — it must not "top up" in-flight
-// descriptors, or it would defeat flow control.
+// descriptors, or it would defeat flow control. epoch is the value of the
+// driver's drain counter at this ring's last quarantine drain; buffers
+// posted earlier are stale on arrival.
 type napiCtx struct {
 	core      *sim.Core
 	shortfall int
+	epoch     uint64
 }
 
 // NewDriver wires a driver to its NIC, building one NAPI context per ring
@@ -121,6 +200,7 @@ func NewDriver(k *Kernel, nic *device.NIC) *Driver {
 	d := &Driver{k: k, nic: nic, RxBufSize: k.Model.SegmentSize}
 	for ring := 0; ring < nic.Cfg.Rings; ring++ {
 		d.napi = append(d.napi, napiCtx{core: nic.RingCore(ring)})
+		d.ringTenants = append(d.ringTenants, -1)
 	}
 	nic.OnRX(d.handleRX)
 	nic.OnTXComplete(d.handleTXComplete)
@@ -168,18 +248,22 @@ func (d *Driver) putRXBuf(rb *rxBuf) {
 }
 
 func (d *Driver) postOne(t *sim.Task, ring int) error {
+	if d.cap != nil && !d.cap.CheckRing(ring) {
+		return fmt.Errorf("netstack: ring %d capability denied; RX post refused", ring)
+	}
 	perf.Charge(t, d.k.Model.SkbAllocCycles)
-	pa, damnOwned, err := d.k.AllocBuffer(t, d.nic.ID(), iommu.PermWrite, d.RxBufSize)
+	dev := d.nic.RingDevice(ring)
+	pa, damnOwned, err := d.k.AllocBuffer(t, dev, iommu.PermWrite, d.RxBufSize)
 	if err != nil {
 		return fmt.Errorf("netstack: RX buffer allocation: %w", err)
 	}
-	v, err := d.k.DMA.Map(t, d.nic.ID(), pa, d.RxBufSize, dmaapi.FromDevice)
+	v, err := d.k.DMA.Map(t, dev, pa, d.RxBufSize, dmaapi.FromDevice)
 	if err != nil {
 		d.k.FreeBuffer(t, pa, damnOwned)
 		return fmt.Errorf("netstack: RX buffer map: %w", err)
 	}
 	rb := d.getRXBuf()
-	rb.pa, rb.iova, rb.damn, rb.epoch = pa, v, damnOwned, d.epoch
+	rb.pa, rb.iova, rb.dev, rb.damn, rb.epoch = pa, v, dev, damnOwned, d.napi[ring].epoch
 	return d.nic.PostRX(ring, device.RXDesc{IOVA: v, Size: d.RxBufSize, Cookie: rb})
 }
 
@@ -192,7 +276,7 @@ func (d *Driver) postOne(t *sim.Task, ring int) error {
 // released for reuse. (Leaking it instead would pin its chunk forever and
 // break conservation across device resets.)
 func (d *Driver) reclaimBuf(t *sim.Task, rb *rxBuf) (freed bool) {
-	if err := d.k.DMA.Unmap(t, d.nic.ID(), rb.iova, d.RxBufSize, dmaapi.FromDevice); err != nil {
+	if err := d.k.DMA.Unmap(t, rb.dev, rb.iova, d.RxBufSize, dmaapi.FromDevice); err != nil {
 		d.RxUnmapErrors++
 		d.rxUnmapC.Inc()
 		if !rb.damn {
@@ -213,10 +297,11 @@ func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 		// shard of the ring's bound core. Must stay zero; DESIGN.md §11.
 		d.RxWrongCore += uint64(len(comps))
 		d.rxWrongCPUC.Add(uint64(len(comps)))
+		d.noteWrongCore(ring, uint64(len(comps)))
 	}
 	for _, comp := range comps {
 		rb := comp.Desc.Cookie.(*rxBuf)
-		if rb.epoch != d.epoch {
+		if rb.epoch != d.napi[ring].epoch {
 			// The completion raced a quarantine: its descriptor was
 			// popped before the teardown, so the drain never saw it.
 			// Reclaim the buffer but leave the (rebuilt) ring alone.
@@ -228,10 +313,22 @@ func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 			d.putRXBuf(rb)
 			continue
 		}
+		if d.cap != nil && !d.cap.CheckRing(ring) {
+			// The ring's capability was revoked (or a forged one is being
+			// presented) while the buffer was in flight: the handoff back
+			// to the kernel is denied. Reclaim the buffer kernel-side —
+			// conservation must survive containment — count the drop, and
+			// post no replacement: a capability-less ring drains.
+			d.RxDropped++
+			d.rxDropC.Inc()
+			d.reclaimBuf(t, rb)
+			d.putRXBuf(rb)
+			continue
+		}
 		// dma_unmap returns ownership to the kernel. For shadow
 		// buffers this performs the copy-back; for DAMN it is the MSB
 		// no-op; for strict it invalidates.
-		if err := d.k.DMA.Unmap(t, d.nic.ID(), rb.iova, d.RxBufSize, dmaapi.FromDevice); err != nil {
+		if err := d.k.DMA.Unmap(t, rb.dev, rb.iova, d.RxBufSize, dmaapi.FromDevice); err != nil {
 			// A non-DAMN buffer's mapping state is now unknown, so it
 			// can never be reused: quarantine it (deliberate leak). A
 			// DAMN buffer's mapping is chunk-owned and unaffected by
@@ -283,7 +380,7 @@ func (d *Driver) handleRX(t *sim.Task, ring int, comps []device.RXCompletion) {
 			d.putRXBuf(rb)
 			continue
 		}
-		skb := AdoptBuffer(d.k, d.nic.ID(), iommu.PermWrite, rb.pa, d.RxBufSize, rb.damn)
+		skb := AdoptBuffer(d.k, rb.dev, iommu.PermWrite, rb.pa, d.RxBufSize, rb.damn)
 		skb.SetReceived(comp.Seg.Len, comp.Written)
 		skb.Flow = comp.Seg.Flow
 		skb.Seq = comp.Seg.Seq
@@ -323,7 +420,7 @@ func (d *Driver) EnableWatchdog(period sim.Time) (stop func()) {
 		ring := ring
 		n := &d.napi[ring]
 		stops = append(stops, d.k.Sim.Every(period, func() {
-			if d.nic.Quarantined() {
+			if d.nic.RingQuarantined(ring) {
 				// A quarantined or resetting device owns no ring state:
 				// reposting into it would hand buffers to a domain that
 				// is being torn down. The shortfall survives untouched;
@@ -387,6 +484,9 @@ func (d *Driver) Epoch() uint64 { return d.epoch }
 // unmaps), and how many flow-control-parked segments were dropped.
 func (d *Driver) QuarantineDrain(t *sim.Task) (reclaimed, leaked, parkedDropped int) {
 	d.epoch++
+	for i := range d.napi {
+		d.napi[i].epoch = d.epoch
+	}
 	descs, parked := d.nic.Quarantine()
 	for _, desc := range descs {
 		rb := desc.Cookie.(*rxBuf)
@@ -405,6 +505,36 @@ func (d *Driver) QuarantineDrain(t *sim.Task) (reclaimed, leaked, parkedDropped 
 	return reclaimed, leaked, parked
 }
 
+// QuarantineDrainRings is the tenant-scoped QuarantineDrain: it fences and
+// tears down only the given rings, reclaiming their posted buffers while
+// the owner's IOMMU domain is still attached, and bumps only those rings'
+// epochs — in-flight completions on *other* rings are untouched, which is
+// what keeps a tenant quarantine's blast radius at one tenant.
+func (d *Driver) QuarantineDrainRings(t *sim.Task, rings []int) (reclaimed, leaked, parkedDropped int) {
+	d.epoch++
+	for _, ring := range rings {
+		if ring >= 0 && ring < len(d.napi) {
+			d.napi[ring].epoch = d.epoch
+		}
+	}
+	descs, parked := d.nic.QuarantineRings(rings)
+	for _, desc := range descs {
+		rb := desc.Cookie.(*rxBuf)
+		if d.reclaimBuf(t, rb) {
+			reclaimed++
+		} else {
+			leaked++
+		}
+		d.putRXBuf(rb)
+	}
+	for _, ring := range rings {
+		if ring >= 0 && ring < len(d.napi) {
+			d.napi[ring].shortfall = 0
+		}
+	}
+	return reclaimed, leaked, parked
+}
+
 // Reinit brings a recovered (or hotplug-replaced) device back into service:
 // lifts the quarantine and refills every RX ring. A fill failure leaves the
 // gap in the ring's shortfall (the watchdog keeps retrying) and is returned
@@ -415,6 +545,24 @@ func (d *Driver) Reinit(t *sim.Task) error {
 	}
 	var firstErr error
 	for ring := 0; ring < d.nic.Cfg.Rings; ring++ {
+		if d.nic.RingQuarantined(ring) {
+			continue // a tenant still in containment keeps its fence
+		}
+		if err := d.FillRing(t, ring); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ReinitRings is the tenant-scoped Reinit: it lifts the given rings'
+// quarantine and refills them, leaving the rest of the device alone.
+func (d *Driver) ReinitRings(t *sim.Task, rings []int) error {
+	if err := d.nic.ResumeRings(rings); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, ring := range rings {
 		if err := d.FillRing(t, ring); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -425,6 +573,9 @@ func (d *Driver) Reinit(t *sim.Task) error {
 // Transmit maps an skb and hands it to the NIC (TSO: the whole ≤64 KiB
 // segment goes down at once).
 func (d *Driver) Transmit(t *sim.Task, ring, port int, skb *SKBuff) error {
+	if d.cap != nil && !d.cap.CheckRing(ring) {
+		return fmt.Errorf("netstack: ring %d capability denied; TX refused", ring)
+	}
 	v, err := skb.MapForDevice(t, dmaapi.ToDevice)
 	if err != nil {
 		return err

@@ -99,6 +99,9 @@ type Sender struct {
 	Ring   int
 	PortID int
 	Flow   int
+	// Dev overrides the device identity TX buffers are allocated and
+	// mapped for (a tenant's virtual function); 0 means the NIC's own id.
+	Dev int
 	// Hash is the RSS hash stamped on outbound segments; the far end of a
 	// topology link steers by it. Zero lands on the receiver's ring 0.
 	Hash uint32
@@ -171,8 +174,12 @@ func (s *Sender) schedulePump() {
 // pump fills the window; it runs as an application/syscall task.
 func (s *Sender) pump(t *sim.Task) {
 	m := s.K.Model
+	dev := s.Dev
+	if dev == 0 {
+		dev = s.Drv.NIC().ID()
+	}
 	for !s.stopped && s.inFlight+s.SegSize <= s.Window {
-		skb, err := AllocSKB(s.K, t, s.Drv.NIC().ID(), s.SegSize, false)
+		skb, err := AllocSKB(s.K, t, dev, s.SegSize, false)
 		if err != nil {
 			s.Errors++
 			return

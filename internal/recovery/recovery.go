@@ -151,6 +151,14 @@ type Supervisor struct {
 	// quarantined ring.
 	OnRecovered func(dev int)
 
+	// OnForeignRecord, when non-nil, receives fault records whose source
+	// device the supervisor does not manage. The IOMMU's fault-record ring
+	// is single-consumer (reading pops it), so when both the device
+	// supervisor and the tenant manager are attached, the supervisor owns
+	// the read and forwards unclaimed records — tenant virtual functions —
+	// through this hook instead of silently consuming them.
+	OnForeignRecord func(rec iommu.FaultRecord)
+
 	// Transitions records every state change in order (test and report
 	// instrumentation).
 	Transitions []Transition
@@ -302,6 +310,8 @@ func (s *Supervisor) poll() {
 	for _, rec := range s.u.ReadFaultRecords() {
 		if ds := s.devs[rec.Dev]; ds != nil {
 			ds.window = append(ds.window, now)
+		} else if s.OnForeignRecord != nil {
+			s.OnForeignRecord(rec)
 		}
 	}
 	for _, dev := range s.order {

@@ -94,7 +94,7 @@ func TestStormQuarantineHeal(t *testing.T) {
 	if _, err := ma.Damn.Audit(); err != nil {
 		t.Errorf("conservation audit after recovery: %v", err)
 	}
-	rec, _ := ma.IOMMU.DeviceFaultStats(testbed.NICDeviceID)
+	rec, _, _ := ma.IOMMU.DeviceFaultStats(testbed.NICDeviceID)
 	if rec == 0 {
 		t.Error("no per-device fault records attributed to the NIC")
 	}
@@ -132,7 +132,7 @@ func TestDeterminism(t *testing.T) {
 		}
 		stormUntil(t, ma, sup, recovery.Quarantined)
 		runUntilState(t, ma, sup, recovery.Healthy)
-		rec, _ := ma.IOMMU.DeviceFaultStats(testbed.NICDeviceID)
+		rec, _, _ := ma.IOMMU.DeviceFaultStats(testbed.NICDeviceID)
 		return sup.Transitions, rec
 	}
 	trA, recA := run()

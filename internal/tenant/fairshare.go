@@ -1,0 +1,151 @@
+package tenant
+
+import (
+	"github.com/asplos18/damn/internal/sim"
+)
+
+// FairShare is the weighted fair-share admission pacer on the NIC's shared
+// PCIe/memory-bandwidth ceiling: each tenant owns a token bucket refilled
+// at weight_i/Σw of the configured byte rate, and a DMA that overdraws its
+// tenant's bucket absorbs the deficit as extra wire time. The NIC consults
+// it per transfer (device.Admission); unowned rings are never paced, so a
+// tenancy-free machine pays one nil check. Throttled tenants (containment
+// ladder step one) refill at a fraction of their share.
+//
+// All state is plain float/int arithmetic on dense slices — deterministic
+// and allocation-free on the per-packet path.
+type FairShare struct {
+	totalBytesPS float64 // shared ceiling, bytes per simulated second
+
+	ringTenant []int // ring -> tenant (-1 unowned)
+
+	weights   []float64
+	rates     []float64 // refill rate, bytes/s (post-throttle)
+	avail     []float64 // bucket level, bytes (may go negative)
+	burst     []float64 // bucket cap, bytes
+	last      []sim.Time
+	throttled []bool
+
+	throttleFactor float64
+
+	// Delays accumulates the admission delay imposed per tenant
+	// (picoseconds) — the fairness evidence the figure reports.
+	Delays []sim.Time
+}
+
+// NewFairShare builds a pacer for a NIC with the given ring count and a
+// shared ceiling in bytes per second. throttleFactor is the fraction of a
+// tenant's rate kept while Throttled (default 0.25 when <= 0).
+func NewFairShare(rings int, totalBytesPS, throttleFactor float64) *FairShare {
+	if throttleFactor <= 0 {
+		throttleFactor = 0.25
+	}
+	f := &FairShare{totalBytesPS: totalBytesPS, throttleFactor: throttleFactor,
+		ringTenant: make([]int, rings)}
+	for i := range f.ringTenant {
+		f.ringTenant[i] = -1
+	}
+	return f
+}
+
+// AddTenant registers a tenant's weight and ring ownership, then
+// recomputes every tenant's rate so the shares always sum to the ceiling.
+func (f *FairShare) AddTenant(tenant int, weight float64, rings []int, now sim.Time) {
+	if weight <= 0 {
+		weight = 1
+	}
+	for tenant >= len(f.weights) {
+		f.weights = append(f.weights, 0)
+		f.rates = append(f.rates, 0)
+		f.avail = append(f.avail, 0)
+		f.burst = append(f.burst, 0)
+		f.last = append(f.last, 0)
+		f.throttled = append(f.throttled, false)
+		f.Delays = append(f.Delays, 0)
+	}
+	f.weights[tenant] = weight
+	f.last[tenant] = now
+	for _, r := range rings {
+		if r >= 0 && r < len(f.ringTenant) {
+			f.ringTenant[r] = tenant
+		}
+	}
+	f.recompute()
+	// A new tenant starts with a full bucket: its first burst rides free.
+	f.avail[tenant] = f.burst[tenant]
+}
+
+// recompute distributes the ceiling across registered tenants by weight.
+// Bursts are sized to ~100 µs of each tenant's rate, so short bursts ride
+// free and sustained overdraw pays.
+func (f *FairShare) recompute() {
+	var sum float64
+	for _, w := range f.weights {
+		sum += w
+	}
+	if sum <= 0 {
+		return
+	}
+	for i, w := range f.weights {
+		if w <= 0 {
+			continue
+		}
+		rate := f.totalBytesPS * w / sum
+		if f.throttled[i] {
+			rate *= f.throttleFactor
+		}
+		f.rates[i] = rate
+		f.burst[i] = rate * 100e-6 // 100 µs of line rate
+		if f.avail[i] > f.burst[i] {
+			f.avail[i] = f.burst[i]
+		}
+	}
+}
+
+// Throttle moves a tenant onto (or off) its reduced containment rate.
+func (f *FairShare) Throttle(tenant int, on bool) {
+	if tenant < 0 || tenant >= len(f.throttled) {
+		return
+	}
+	f.throttled[tenant] = on
+	f.recompute()
+}
+
+// AdmitDMA implements device.Admission: refill the ring owner's bucket to
+// now, debit the transfer, and convert any deficit into delay at the
+// tenant's refill rate.
+func (f *FairShare) AdmitDMA(ring, bytes int, now sim.Time) sim.Time {
+	if ring < 0 || ring >= len(f.ringTenant) {
+		return 0
+	}
+	ten := f.ringTenant[ring]
+	if ten < 0 {
+		return 0
+	}
+	rate := f.rates[ten]
+	if rate <= 0 {
+		return 0
+	}
+	if dt := now - f.last[ten]; dt > 0 {
+		f.avail[ten] += rate * float64(dt) / 1e12 // sim.Time is picoseconds
+		if f.avail[ten] > f.burst[ten] {
+			f.avail[ten] = f.burst[ten]
+		}
+	}
+	f.last[ten] = now
+	f.avail[ten] -= float64(bytes)
+	if f.avail[ten] >= 0 {
+		return 0
+	}
+	d := sim.Time(-f.avail[ten] / rate * 1e12)
+	f.Delays[ten] += d
+	return d
+}
+
+// DelayFor reports the cumulative admission delay imposed on a tenant.
+func (f *FairShare) DelayFor(tenant int) sim.Time {
+	if tenant < 0 || tenant >= len(f.Delays) {
+		return 0
+	}
+	return f.Delays[tenant]
+}

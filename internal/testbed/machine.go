@@ -12,6 +12,7 @@ import (
 	"github.com/asplos18/damn/internal/dmaapi"
 	"github.com/asplos18/damn/internal/faults"
 	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/iova"
 	"github.com/asplos18/damn/internal/mem"
 	"github.com/asplos18/damn/internal/netstack"
 	"github.com/asplos18/damn/internal/perf"
@@ -170,6 +171,15 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	}
 	se.SetStats(ma.Stats)
 	u.SetStats(ma.Stats)
+	// Blocked DMAs whose target decodes as another device's DAMN region are
+	// classified as neighbour probes (iommu cannot import iova directly).
+	u.SetProbeClassifier(func(dev int, v iommu.IOVA) (int, bool) {
+		enc, ok := iova.Decode(v)
+		if !ok {
+			return 0, false
+		}
+		return enc.Dev, true
+	})
 	if cfg.Faults != nil {
 		ma.Faults = faults.New(*cfg.Faults)
 		ma.Faults.SetStats(ma.Stats)

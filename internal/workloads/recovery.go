@@ -224,7 +224,7 @@ func RunRecovery(cfg RecoveryConfig) (RecoveryResult, error) {
 	res.Resets = sup.Resets
 	res.ReleasedPages = sup.ReleasedPages
 	res.PinnedChunks = sup.PinnedChunks
-	res.FaultRecords, res.FaultOverflows = ma.IOMMU.DeviceFaultStats(testbed.NICDeviceID)
+	res.FaultRecords, res.FaultOverflows, _ = ma.IOMMU.DeviceFaultStats(testbed.NICDeviceID)
 	res.ScheduleDigest = ma.Faults.ScheduleDigest()
 
 	res.DamnLiveChunks = -1
