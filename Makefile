@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet staticcheck build test race race-full alloc-gate bench bench-go chaos recovery scaling loss topo tenants ci
+.PHONY: all fmt vet staticcheck build test race race-full alloc-gate bench bench-go chaos recovery scaling loss topo tenants bypass ci
 
 all: build
 
@@ -41,15 +41,18 @@ race-full:
 # dma_map/dma_unmap under every scheme, a full RX segment through the pooled
 # skb path (with and without the multi-tenant capability gate installed), a
 # full ARQ loss-recovery cycle (fast retransmit included), the capability
-# check itself and a ticker start/stop storm must not touch the Go heap in
-# steady state. Runs in seconds; CI fails on any regression.
+# check itself, a ticker start/stop storm, the idle bypass busy-poll tick and
+# a segment through the virtqueue harvest/repost cycle must not touch the Go
+# heap in steady state. Runs in seconds; CI fails on any regression.
 alloc-gate:
 	$(GO) test -run 'ZeroAlloc' -count=1 .
 
-# bench regenerates BENCH_PR9.json: engine event-loop microbenchmarks
+# bench regenerates BENCH_PR10.json: engine event-loop microbenchmarks
 # (ns/op, allocs/op — the 0-alloc hot paths are regression-gated, the
 # multi-tenant capability check included), the RSS scale-out grid with its
-# monotone-growth gates, the tenants blast-radius macro with its containment
+# monotone-growth gates (bypass columns included, excluded from the strict
+# contention gate), the kernel-bypass figure with its acceptance gates, the
+# tenants blast-radius macro with its containment
 # gates, the 4-machine topology wall-clock scaling leg (serial vs
 # one-worker-per-machine, byte-compared, speedup-gated on multi-CPU hosts),
 # plus the quick-suite wall clock at -parallel 1 vs the parallel leg with
@@ -59,7 +62,7 @@ alloc-gate:
 # two-worker leg.
 bench:
 	@p=$$(nproc); [ $$p -ge 2 ] || p=2; \
-	set -x; $(GO) run ./cmd/benchreport -out BENCH_PR9.json -procs $$p -parallel $$p
+	set -x; $(GO) run ./cmd/benchreport -out BENCH_PR10.json -procs $$p -parallel $$p
 
 # bench-go runs the full go-test benchmark tiers: data-structure micro
 # benchmarks, engine micro benchmarks, one macro benchmark per paper figure,
@@ -117,4 +120,16 @@ tenants:
 	$(GO) test -race -timeout 15m -run 'TestTenan|TestLadder|TestCapability|TestFairShare|TestCapCheck' \
 		./internal/tenant/... ./internal/workloads/... ./internal/experiments/... .
 
-ci: fmt vet build race chaos recovery scaling loss topo tenants
+# The kernel-bypass suite under the race detector: the bypass figure (quick
+# mode) with its in-figure acceptance gates (bypass-raw beats iommu-off,
+# bypass-prot within 10% of raw, idle busy-poll burn on both flavors, zero
+# used-ring publish faults), the attack verdicts via attacksim -bypass, and
+# the virtqueue/driver/determinism tests plus the two bypass allocation
+# gates.
+bypass:
+	$(GO) run -race ./cmd/damnbench -quick -exp bypass
+	$(GO) run -race ./cmd/attacksim -bypass > /dev/null
+	$(GO) test -race -timeout 15m -run 'TestBypass|TestVirtqueue' \
+		./internal/device/... ./internal/experiments/... .
+
+ci: fmt vet build race chaos recovery scaling loss topo tenants bypass

@@ -30,6 +30,14 @@
 // quarantines (or evicts) the attacker; with the IOMMU off the virtual
 // functions run passthrough and the probes land.
 //
+// With -bypass, the kernel-bypass flavors join the attacked set and a
+// seventh scenario targets the bypass pool directly: a polling driver
+// registers its hugepage pool, then the compromised device probes a kernel
+// secret *outside* the registered region under the app's DMA identity.
+// bypass-raw runs passthrough, so the probe lands anywhere in RAM;
+// bypass-prot's per-app domain confines DMA to the registered hugepages and
+// the probe is blocked — the pool boundary is the protection.
+//
 // -loss P arms P% link loss (80% clean drops, 20% corruption) on the
 // attacked machines: protection verdicts are properties of the translation
 // schemes, so they must be identical on a lossy wire.
@@ -71,6 +79,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the attacked machines")
 	recover := flag.Bool("recovery", false, "attach the fault-domain recovery supervisor and mount a DMA-fault-storm scenario")
 	tenants := flag.Bool("tenants", false, "mount the compromised-tenant scenario: the malicious device attacks as a tenant virtual function")
+	bypass := flag.Bool("bypass", false, "attack the kernel-bypass flavors too, including a pool-escape probe under the app's DMA identity")
 	lossPct := flag.Float64("loss", 0, "link-loss percentage armed on the attacked machines (80% drop / 20% corrupt); verdicts must not change on a lossy wire")
 	flag.Parse()
 
@@ -99,6 +108,11 @@ func main() {
 	fmt.Println()
 	exitCode := 0
 
+	schemes := testbed.AllSchemes
+	if *bypass {
+		schemes = append(append([]testbed.Scheme{}, testbed.AllSchemes...), testbed.BypassSchemes...)
+	}
+
 	// Each scheme's machine is fully private, so the attacks fan out across
 	// workers; results print in scheme order, so output is byte-identical
 	// to a serial run. Tracing shares one sink — it forces serial.
@@ -111,10 +125,10 @@ func main() {
 	if workers < 1 || tracer != nil {
 		workers = 1
 	}
-	if workers > len(testbed.AllSchemes) {
-		workers = len(testbed.AllSchemes)
+	if workers > len(schemes) {
+		workers = len(schemes)
 	}
-	results := make([]result, len(testbed.AllSchemes))
+	results := make([]result, len(schemes))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -123,17 +137,17 @@ func main() {
 			defer wg.Done()
 			for i := range idx {
 				r := &results[i]
-				r.outs, r.snap, r.err = attack(testbed.AllSchemes[i], *seed, tracer, faultCfg, *recover, *tenants)
+				r.outs, r.snap, r.err = attack(schemes[i], *seed, tracer, faultCfg, *recover, *tenants)
 			}
 		}()
 	}
-	for i := range testbed.AllSchemes {
+	for i := range schemes {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
 
-	for i, scheme := range testbed.AllSchemes {
+	for i, scheme := range schemes {
 		r := results[i]
 		if r.err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", scheme, r.err)
@@ -252,7 +266,7 @@ func attack(scheme testbed.Scheme, seed int64, tracer *stats.Tracer, faultCfg *f
 		return nil, stats.Snapshot{}, err
 	}
 	winLanded := false
-	if scheme == testbed.SchemeOff {
+	if passthrough(scheme) {
 		winLanded = attacker.TryWrite(iommu.IOVA(p.PFN().Addr()), []byte("evil")) == nil
 	} else if ma.Damn == nil {
 		v, err := ma.DMA.Map(nil, testbed.NICDeviceID, p.PFN().Addr(), mem.PageSize, dmaapi.FromDevice)
@@ -294,15 +308,63 @@ func attack(scheme testbed.Scheme, seed int64, tracer *stats.Tracer, faultCfg *f
 	if withRecovery {
 		outs = append(outs, stormOutcome(ma, attacker))
 	}
-	// 6. Compromised tenant (only with -tenants).
-	if withTenants {
+	// 6. Compromised tenant (only with -tenants; the bypass flavors hand
+	// the whole queue pair to one app, so SR-IOV tenancy doesn't apply).
+	if withTenants && !testbed.IsBypass(scheme) {
 		o, err := tenantOutcome(scheme, seed)
 		if err != nil {
 			return nil, stats.Snapshot{}, err
 		}
 		outs = append(outs, o)
 	}
+	// 7. Pool escape (bypass flavors only): the attack the bypass figure's
+	// safety columns are built on, mounted under the app's DMA identity.
+	if testbed.IsBypass(scheme) {
+		o, err := poolEscapeOutcome(ma, scheme)
+		if err != nil {
+			return nil, stats.Snapshot{}, err
+		}
+		outs = append(outs, o)
+	}
 	return outs, ma.StatsSnapshot(), nil
+}
+
+// passthrough reports whether the scheme leaves the NIC's DMA untranslated:
+// iommu-off, and bypass-raw's permanent identity mappings.
+func passthrough(scheme testbed.Scheme) bool {
+	return scheme == testbed.SchemeOff || scheme == testbed.SchemeBypassRaw
+}
+
+// poolEscapeOutcome sets up the polling driver (registering its hugepage
+// pool) and then probes a kernel secret *outside* the registered region
+// under the bypass device identity. bypass-raw runs passthrough, so the
+// probe reads anything; bypass-prot's per-app domain has exactly the pool
+// hugepages mapped, so the probe faults at the pool boundary.
+func poolEscapeOutcome(ma *testbed.Machine, scheme testbed.Scheme) (outcome, error) {
+	d := netstack.NewBypassDriver(ma.Kernel, ma.NIC, 0, testbed.BypassDeviceID,
+		scheme == testbed.SchemeBypassProt)
+	var setupErr error
+	d.Core().Submit(false, func(t *sim.Task) { setupErr = d.Setup(t) })
+	ma.Sim.Run(ma.Sim.Now())
+	if setupErr != nil {
+		return outcome{}, setupErr
+	}
+	defer d.Close()
+	secret := []byte("OUTSIDE-POOL-SECRET")
+	secretPA, err := ma.Slab.Alloc(64, 0)
+	if err != nil {
+		return outcome{}, err
+	}
+	ma.Mem.Write(secretPA, secret)
+	attacker := device.NewMalicious(ma.IOMMU, testbed.BypassDeviceID)
+	got, rerr := attacker.TryRead(iommu.IOVA(secretPA), len(secret))
+	if rerr == nil && string(got) == string(secret) {
+		return outcome{"pool-escape", true,
+			"app's DMA identity reads a kernel secret outside its registered pool"}, nil
+	}
+	return outcome{"pool-escape", false, fmt.Sprintf(
+		"probe outside the registered pool faulted (%d hugepages mapped, nothing else)",
+		len(d.PoolChunks()))}, nil
 }
 
 // tenantOutcome re-parents the attacker as a compromised tenant virtual
@@ -384,7 +446,7 @@ func headerTocttou(ma *testbed.Machine, attacker *device.Malicious, scheme testb
 		}
 	}
 	if _, err := ma.IOMMU.DMAWrite(testbed.NICDeviceID, v, packet); err != nil &&
-		scheme != testbed.SchemeOff {
+		!passthrough(scheme) {
 		return false, err
 	}
 	skb.SetReceived(len(packet), len(packet))
@@ -396,7 +458,7 @@ func headerTocttou(ma *testbed.Machine, attacker *device.Malicious, scheme testb
 	before, _ := skb.Access(nil, len(packet))
 	saved := string(before)
 	attacker.TOCTTOUFlip(v, []byte("SRC=66.6.6.6 NO"), 3)
-	if scheme == testbed.SchemeOff {
+	if passthrough(scheme) {
 		// Passthrough: attack the physical address directly.
 		attacker.TryWrite(iommu.IOVA(skb.HeadPA()), []byte("SRC=66.6.6.6 NO"))
 	}

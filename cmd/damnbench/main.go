@@ -4,8 +4,8 @@
 // Usage:
 //
 //	damnbench [-quick] [-parallel N] [-seed N]
-//	          [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|scaling|chaos|recovery|loss|cluster|tenants]
-//	          [-recovery] [-scaling] [-loss] [-cluster] [-tenants] [-topo-workers N]
+//	          [-exp all|table1|fig2|fig4|fig5|fig6|table3|fig7|fig8|fig9|fig10|fig11|scaling|chaos|recovery|loss|cluster|tenants|bypass]
+//	          [-recovery] [-scaling] [-loss] [-cluster] [-tenants] [-bypass] [-topo-workers N]
 //	          [-faults P] [-fault-seed N] [-stats out.json] [-trace out.trace]
 //
 // The default full-fidelity run takes a few minutes; -quick shrinks the
@@ -56,6 +56,16 @@
 // goodput ratio, where the containment ladder left the attacker, and what
 // the capability gate and per-tenant domains blocked.
 //
+// -bypass (or -exp bypass) adds the kernel-bypass figure: the five kernel
+// schemes under single-core netperf RX next to bypass-raw (virtio-style
+// polling rings, permanent identity mappings, no protection — the DPDK
+// baseline) and bypass-prot (the same rings behind a per-app IOMMU domain
+// registered once at setup). Rows report goodput, CPU microseconds per
+// megabyte (busy-poll spin included), idle busy-poll burn, and the measured
+// Table 1 safety verdicts; the run fails unless raw beats iommu-off, prot
+// stays within 10% of raw, and both burn idle CPU. The bypass family also
+// appears as extra rows of the -scaling figure.
+//
 // -cluster (or -exp cluster) adds the multi-machine cluster figure: per
 // scheme, a 4-sender incast storm through a tail-dropping router and a
 // 2-client/2-server memcached cluster behind a load balancer, both on the
@@ -83,12 +93,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	faultRate := flag.Float64("faults", 0, "per-visit fault-injection probability for every fault kind (0 = off); see internal/faults")
 	faultSeed := flag.Int64("fault-seed", 1, "seed of the deterministic fault schedule (used with -faults or -exp chaos)")
-	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5, scaling, chaos, recovery, loss, cluster, tenants")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): all, table1, fig2, fig4, fig5, fig6, table3, fig7, fig8, fig9, fig10, fig11, ablations, footnote5, scaling, chaos, recovery, loss, cluster, tenants, bypass")
 	recover := flag.Bool("recovery", false, "fault-domain recovery: add the recovery figure to the run, and attach the device-recovery supervisor to chaos machines")
 	scaling := flag.Bool("scaling", false, "RSS scale-out: add the Gb/s vs. core-count figure to the run")
 	loss := flag.Bool("loss", false, "loss resilience: add the ARQ goodput-vs-link-loss figure to the run")
 	cluster := flag.Bool("cluster", false, "multi-machine topologies: add the incast + memcached cluster figure to the run")
 	tenants := flag.Bool("tenants", false, "multi-tenant isolation: add the fairness + compromised-tenant blast-radius figure to the run")
+	bypass := flag.Bool("bypass", false, "kernel bypass: add the polling-path vs. kernel-stack figure to the run")
 	topoWorkers := flag.Int("topo-workers", 1, "host workers advancing a topology's machines in parallel (output is identical for any value)")
 	statsOut := flag.String("stats", "", "write per-figure metrics snapshots to this JSON file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of every simulated machine")
@@ -123,6 +134,9 @@ func main() {
 	}
 	if *tenants {
 		want["tenants"] = true
+	}
+	if *bypass {
+		want["bypass"] = true
 	}
 	all := want["all"]
 

@@ -52,6 +52,8 @@ const (
 	SchemeDAMN          = testbed.SchemeDAMN
 	SchemeDAMNHugeDense = testbed.SchemeDAMNHugeDense
 	SchemeDAMNNoIOMMU   = testbed.SchemeDAMNNoIOMMU
+	SchemeBypassRaw     = testbed.SchemeBypassRaw
+	SchemeBypassProt    = testbed.SchemeBypassProt
 )
 
 // AllSchemes is the five-way comparison set of the evaluation.

@@ -159,6 +159,12 @@ type NIC struct {
 	rxHandler func(t *sim.Task, ring int, comps []RXCompletion)
 	txHandler func(t *sim.Task, ring int, descs []TXDesc)
 
+	// pollVQ, when a ring has an entry, routes that ring's completions to a
+	// poll-mode virtqueue instead of an interrupt (see AttachVirtqueue).
+	// Nil for every interrupt-driven configuration: one slice check on the
+	// delivery path.
+	pollVQ []*Virtqueue
+
 	// quarantined fences the device off the host: ingress is dropped at
 	// the wire, posting descriptors fails, no DMA is initiated. The
 	// recovery supervisor sets it while a fault domain is being torn down
@@ -776,6 +782,14 @@ func (n *NIC) deliver(ring int, seg Segment) {
 	n.rxSizeH.Observe(float64(seg.Len))
 
 	comp := RXCompletion{Desc: desc, Seg: seg, Written: written, BadCSum: seg.Corrupt}
+	if n.pollVQ != nil && n.pollVQ[ring] != nil {
+		// Poll mode: the completion lands in the used ring at DMA-done time
+		// and waits for the driver's busy-poll harvest. There is no
+		// interrupt to lose or delay, so the completion-fault injectors
+		// don't apply (the bypass loss story is the ARQ layer's).
+		n.pollVQ[ring].schedulePublish(done, comp)
+		return
+	}
 	if n.inj.Should(faults.ComplLoss) {
 		// The interrupt is lost: the DMA happened but no handler runs.
 		// The completion sits in the ring until the driver's watchdog

@@ -1,0 +1,145 @@
+package device
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/asplos18/damn/internal/iommu"
+	"github.com/asplos18/damn/internal/sim"
+)
+
+// Virtqueue is the device half of a virtio-style split ring attached to one
+// NIC RX ring in poll mode: instead of raising a completion interrupt, the
+// device publishes each finished receive into a used ring that lives in
+// guest-visible memory, bumps the used index, and lets the driver's busy-poll
+// loop harvest entries in bursts. The avail side is the NIC's ordinary
+// descriptor ring (PostRX is the batched avail publish; the driver pays the
+// doorbell separately), so both flavors of the bypass scheme share the DMA,
+// PCIe and IOTLB modelling of the interrupt path byte for byte — only the
+// completion signalling differs.
+//
+// The used-index bump is a real DMA: the device writes the used element
+// through the IOMMU under the ring's device identity, so under bypass-prot
+// the ring memory itself must be mapped in the per-app domain or completions
+// fault (exactly the property that makes the protected flavor meaningful).
+type Virtqueue struct {
+	se  *sim.Engine
+	u   *iommu.IOMMU
+	dev int
+	// usedIOVA is where the device writes used elements (one 16-byte slot;
+	// the model keeps the element payload abstract and the ring contents in
+	// host memory, like the NIC's descriptor rings).
+	usedIOVA iommu.IOVA
+
+	// used is the used ring: completions published by the device, awaiting
+	// harvest. Pops via head and compacts in place, rxRing-style, so the
+	// steady state never reallocates.
+	used []RXCompletion
+	head int
+
+	// UsedIdx is the device's running used index (total elements ever
+	// published); the driver compares it against its own shadow to know how
+	// far it may harvest.
+	UsedIdx uint64
+	// PublishFaults counts used-element writes the IOMMU blocked: the
+	// completion is lost to the driver and its descriptor leaks, which is
+	// what physically happens when a bypass ring isn't mapped.
+	PublishFaults uint64
+
+	elem     [16]byte // scratch used-element encoding
+	freePubs []*vqPublish
+}
+
+// NewVirtqueue builds the device half of a poll-mode queue. dev is the DMA
+// identity used-element writes translate under; usedIOVA is the mapped (or
+// passthrough) address of the used-ring slot.
+func NewVirtqueue(se *sim.Engine, u *iommu.IOMMU, dev int, usedIOVA iommu.IOVA) *Virtqueue {
+	return &Virtqueue{se: se, u: u, dev: dev, usedIOVA: usedIOVA}
+}
+
+// Pending reports published-but-unharvested used elements.
+func (q *Virtqueue) Pending() int { return len(q.used) - q.head }
+
+// Harvest copies up to len(out) used elements into the caller's buffer and
+// consumes them, returning the count — the driver-side used-ring read. The
+// caller owns out; the virtqueue retains nothing.
+func (q *Virtqueue) Harvest(out []RXCompletion) int {
+	n := copy(out, q.used[q.head:])
+	for i := q.head; i < q.head+n; i++ {
+		q.used[i] = RXCompletion{}
+	}
+	q.head += n
+	if q.head == len(q.used) {
+		q.used = q.used[:0]
+		q.head = 0
+	}
+	return n
+}
+
+// vqPublish carries one completion from DMA-done time into the used ring;
+// records and their fire closures are recycled like the NIC's dispatch
+// records so poll-mode delivery allocates nothing in steady state.
+type vqPublish struct {
+	q    *Virtqueue
+	comp RXCompletion
+	fire func()
+}
+
+func (q *Virtqueue) getPublish() *vqPublish {
+	if m := len(q.freePubs); m > 0 {
+		p := q.freePubs[m-1]
+		q.freePubs = q.freePubs[:m-1]
+		return p
+	}
+	p := &vqPublish{q: q}
+	p.fire = func() {
+		comp := p.comp
+		p.comp = RXCompletion{}
+		p.q.freePubs = append(p.q.freePubs, p)
+		p.q.publish(comp)
+	}
+	return p
+}
+
+// schedulePublish queues a completion to land in the used ring when its DMA
+// is done.
+func (q *Virtqueue) schedulePublish(at sim.Time, comp RXCompletion) {
+	p := q.getPublish()
+	p.comp = comp
+	q.se.At(at, p.fire)
+}
+
+// publish writes the used element through the IOMMU and appends the
+// completion for harvest.
+func (q *Virtqueue) publish(comp RXCompletion) {
+	binary.LittleEndian.PutUint64(q.elem[0:8], q.UsedIdx)
+	binary.LittleEndian.PutUint64(q.elem[8:16], uint64(comp.Written))
+	if _, err := q.u.DMAWrite(q.dev, q.usedIOVA, q.elem[:]); err != nil {
+		q.PublishFaults++
+		return
+	}
+	q.UsedIdx++
+	if q.head > 0 && len(q.used) == cap(q.used) {
+		n := copy(q.used, q.used[q.head:])
+		for i := n; i < len(q.used); i++ {
+			q.used[i] = RXCompletion{}
+		}
+		q.used = q.used[:n]
+		q.head = 0
+	}
+	q.used = append(q.used, comp)
+}
+
+// AttachVirtqueue puts an RX ring in poll mode: completions on the ring are
+// published to the virtqueue's used ring instead of raising an interrupt.
+// Passing nil restores interrupt delivery.
+func (n *NIC) AttachVirtqueue(ring int, q *Virtqueue) error {
+	if ring < 0 || ring >= len(n.rings) {
+		return fmt.Errorf("device: nic %d has no RX ring %d to attach a virtqueue", n.Cfg.ID, ring)
+	}
+	if n.pollVQ == nil {
+		n.pollVQ = make([]*Virtqueue, len(n.rings))
+	}
+	n.pollVQ[ring] = q
+	return nil
+}

@@ -150,6 +150,13 @@ func Catalog() []Figure {
 			}
 			return RenderTenants(rows), nil
 		}},
+		{"bypass", false, func(o Options) (string, error) {
+			rows, err := Bypass(o)
+			if err != nil {
+				return "", err
+			}
+			return RenderBypass(rows), nil
+		}},
 	}
 }
 

@@ -39,6 +39,13 @@ func Scaling(opts Options) ([]ScalingRow, error) {
 			specs = append(specs, spec{scheme, n})
 		}
 	}
+	// The bypass family rides along as extra columns: same core counts,
+	// but each core runs a polling queue pair instead of a NAPI context.
+	for _, scheme := range testbed.BypassSchemes {
+		for _, n := range scalingCores {
+			specs = append(specs, spec{scheme, n})
+		}
+	}
 	return runJobs(opts, len(specs), func(i int, opts Options) (ScalingRow, error) {
 		scheme, n := specs[i].scheme, specs[i].cores
 		ma, err := testbed.NewMachine(testbed.MachineConfig{
@@ -55,6 +62,25 @@ func Scaling(opts Options) ([]ScalingRow, error) {
 			return ScalingRow{}, err
 		}
 		defer ma.Close()
+		if testbed.IsBypass(scheme) {
+			// Polling path: no interrupt driver, so the wrong-core and
+			// shard-clamp invariants don't apply — each queue pair is
+			// pinned to its poll core by construction.
+			res, err := workloads.RunBypass(workloads.BypassConfig{
+				Machine: ma, Rings: n, Warmup: warm, Duration: dur,
+			})
+			if err != nil {
+				return ScalingRow{}, err
+			}
+			if res.PublishFaults != 0 {
+				return ScalingRow{}, fmt.Errorf("scaling: %s/%d cores: %d used-ring publishes faulted", scheme, n, res.PublishFaults)
+			}
+			opts.emit(fmt.Sprintf("scaling/%s-%d", scheme, n), ma)
+			return ScalingRow{
+				Scheme: res.Scheme, Cores: n,
+				RXGbps: res.RXGbps, CPUUtil: res.CPUUtil,
+			}, nil
+		}
 		res, err := workloads.RunScaling(workloads.ScalingConfig{
 			Machine: ma, Warmup: warm, Duration: dur,
 			ExtraCycles: extraScaling, Wakeup: true,

@@ -61,8 +61,26 @@ func TestScalingMonotoneAndDivergent(t *testing.T) {
 	speedup := func(g []float64) float64 { return g[len(g)-1] / g[0] }
 	strictX := speedup(curves[string(testbed.SchemeStrict)])
 	for scheme, g := range curves {
+		if testbed.IsBypass(testbed.Scheme(scheme)) {
+			// Bypass saturates the wire at one core and the PCIe ceiling
+			// at two — its curve is flat because it is ceiling-bound, not
+			// lock-bound, so the lock-contention comparison excludes it.
+			continue
+		}
 		if scheme != string(testbed.SchemeStrict) && speedup(g) <= strictX {
 			t.Errorf("strict (%.2fx) is not the flattest curve: %s scales %.2fx", strictX, scheme, speedup(g))
+		}
+	}
+	for _, scheme := range testbed.BypassSchemes {
+		g := curves[string(scheme)]
+		if len(g) == 0 {
+			t.Errorf("scaling rows missing bypass scheme %s", scheme)
+			continue
+		}
+		for i, v := range g {
+			if v < 99 {
+				t.Errorf("%s at %d cores delivers %.1f Gb/s; polling path should hold the wire/PCIe ceiling", scheme, scalingCores[i], v)
+			}
 		}
 	}
 }

@@ -171,6 +171,30 @@ type Model struct {
 	// (§5.6: every page DAMN takes from the OS is zeroed).
 	ZeroCyclesPerByte float64
 
+	// ---- Kernel-bypass (virtio-style polling path) costs ----
+
+	// BypassPollInterval is the busy-poll loop period of the bypass
+	// driver's dedicated core: the poll ticker fires this often and the
+	// core is charged the full interval whether or not completions were
+	// harvested (the honest cost of spinning, DPDK-style).
+	BypassPollInterval sim.Time
+	// BypassRXSegCycles is the user-space per-segment receive cost on the
+	// bypass path: no syscall, no skbuff, no socket — just descriptor
+	// bookkeeping and a lean run-to-completion stack.
+	BypassRXSegCycles float64
+	// VQHarvestCycles is the cost of consuming one used-ring element
+	// (index load, descriptor read, ring bookkeeping).
+	VQHarvestCycles float64
+	// VQPostCycles is the cost of writing one avail-ring descriptor.
+	VQPostCycles float64
+	// DoorbellCycles is one MMIO doorbell write (uncached, posted); the
+	// bypass driver batches posts so this is paid per batch, not per
+	// descriptor.
+	DoorbellCycles float64
+	// BypassHarvestBurst caps how many used-ring elements one poll tick
+	// consumes, bounding per-tick work like a NAPI budget.
+	BypassHarvestBurst int
+
 	// ---- Device-side translation costs ----
 
 	// IOTLBMissPenalty is the DMA-pipeline delay of one IOTLB miss
@@ -251,6 +275,13 @@ func Default28Core() *Model {
 		DamnHeaderBytes:      128,
 		IRQDisableCycles:     300,
 		ZeroCyclesPerByte:    0.08,
+
+		BypassPollInterval: 2 * sim.Microsecond,
+		BypassRXSegCycles:  1500,
+		VQHarvestCycles:    60,
+		VQPostCycles:       80,
+		DoorbellCycles:     400,
+		BypassHarvestBurst: 64,
 
 		IOTLBMissPenalty: 190 * sim.Nanosecond,
 

@@ -47,10 +47,26 @@ const (
 	// SchemeDAMNNoCache: ablation — no chunk caching; every buffer
 	// builds and tears down its mapping.
 	SchemeDAMNNoCache Scheme = "damn-no-dma-cache"
+	// SchemeBypassRaw: kernel-bypass polling path with permanent identity
+	// mappings and no IOMMU protection — the DPDK baseline the paper never
+	// got compared against.
+	SchemeBypassRaw Scheme = "bypass-raw"
+	// SchemeBypassProt: the same bypass rings behind a per-app IOMMU
+	// domain whose mappings are registered once at setup (CAPIO-style
+	// protected bypass).
+	SchemeBypassProt Scheme = "bypass-prot"
 )
 
 // AllSchemes is the comparison set of Fig 1/4/5/6/7.
 var AllSchemes = []Scheme{SchemeOff, SchemeDeferred, SchemeStrict, SchemeShadow, SchemeDAMN}
+
+// BypassSchemes is the kernel-bypass family — kept out of AllSchemes so the
+// paper figures stay exactly the paper's comparison; the bypass and scaling
+// figures append these columns explicitly.
+var BypassSchemes = []Scheme{SchemeBypassRaw, SchemeBypassProt}
+
+// IsBypass reports whether a scheme uses the polling bypass data path.
+func IsBypass(s Scheme) bool { return s == SchemeBypassRaw || s == SchemeBypassProt }
 
 // MachineConfig describes a testbed instance.
 type MachineConfig struct {
@@ -120,6 +136,12 @@ const NICDeviceID = 1
 
 // NVMeDeviceID is the SSD's identity.
 const NVMeDeviceID = 2
+
+// BypassDeviceID is the DMA identity of the kernel-bypass application's
+// queue pair (an SR-IOV VF handed to user space); bypass rings re-bind to
+// it so their transfers translate — and fault — in the app's own domain.
+// Distinct from the tenant VF range (which starts at 8).
+const BypassDeviceID = 3
 
 // NewMachine assembles a testbed under the given scheme.
 func NewMachine(cfg MachineConfig) (*Machine, error) {
@@ -230,6 +252,23 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 		u.Domain(NVMeDeviceID).Passthrough = true
 		scheme = dmaapi.NewOffScheme()
 		useDamn = true
+	case SchemeBypassRaw:
+		// DPDK baseline: everything in passthrough, including the bypass
+		// queue pair's own DMA identity — permanent identity mappings,
+		// zero protection.
+		nicDomain.Passthrough = true
+		u.Domain(NVMeDeviceID).Passthrough = true
+		u.AttachDevice(BypassDeviceID).Passthrough = true
+		scheme = dmaapi.NewOffScheme()
+	case SchemeBypassProt:
+		// Protected bypass: the app's queue pair gets a real per-app
+		// domain (the bypass driver registers its hugepage pool in it
+		// once at setup); the kernel's own control path keeps the Linux
+		// default deferred scheme.
+		u.AttachDevice(BypassDeviceID)
+		d := dmaapi.NewDeferredScheme(se, u, model)
+		scheme = d
+		ma.Deferred = &DeferredHandle{S: d}
 	default:
 		return nil, fmt.Errorf("testbed: unknown scheme %q", cfg.Scheme)
 	}

@@ -1,0 +1,162 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/asplos18/damn/internal/netstack"
+	"github.com/asplos18/damn/internal/sim"
+	"github.com/asplos18/damn/internal/testbed"
+)
+
+// BypassConfig describes one kernel-bypass polling run: Rings queue pairs,
+// each owned by a polling driver spinning on its own dedicated core.
+type BypassConfig struct {
+	Machine *testbed.Machine
+	// Rings is the number of poll-mode queue pairs (default 1); ring i's
+	// driver spins on core i.
+	Rings    int
+	Duration sim.Time
+	Warmup   sim.Time
+	// IdleWindow, measured before any load is offered, captures the
+	// busy-poll burn of an idle bypass app (default 2 ms).
+	IdleWindow sim.Time
+}
+
+// BypassResult is one row of the bypass figure.
+type BypassResult struct {
+	Scheme string
+	RXGbps float64
+	// CPUUtil is the fraction of all-core capacity consumed — for a
+	// polling driver this approaches 100% of its dedicated cores by
+	// construction.
+	CPUUtil float64
+	// CPUPerMBus is CPU microseconds charged per megabyte delivered,
+	// spin time included — the honest cost-of-goodput metric the figure
+	// compares across schemes.
+	CPUPerMBus float64
+	// IdleBurnCores is how many cores' worth of CPU the driver burned
+	// during the idle window with zero traffic offered (≈ Rings for a
+	// busy-poll loop; 0 for an interrupt driver).
+	IdleBurnCores float64
+	MemBWGBps     float64
+	Polls         uint64
+	Harvested     uint64
+	Doorbells     uint64
+	PublishFaults uint64
+}
+
+// RunBypass executes a kernel-bypass run on a bypass-raw or bypass-prot
+// machine: set up the pool and virtqueues, measure idle burn, then offer
+// one steered line-rate flow per ring and measure goodput and CPU/MB.
+func RunBypass(cfg BypassConfig) (BypassResult, error) {
+	ma := cfg.Machine
+	if ma == nil {
+		return BypassResult{}, fmt.Errorf("workloads: nil machine")
+	}
+	if !testbed.IsBypass(ma.Cfg.Scheme) {
+		return BypassResult{}, fmt.Errorf("workloads: RunBypass on scheme %q", ma.Cfg.Scheme)
+	}
+	if cfg.Rings <= 0 {
+		cfg.Rings = 1
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 100 * sim.Millisecond
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 20 * sim.Millisecond
+	}
+	if cfg.IdleWindow == 0 {
+		cfg.IdleWindow = 2 * sim.Millisecond
+	}
+	if cfg.Rings > ma.NIC.Cfg.Rings {
+		return BypassResult{}, fmt.Errorf("workloads: %d bypass rings on a %d-ring NIC", cfg.Rings, ma.NIC.Cfg.Rings)
+	}
+	prot := ma.Cfg.Scheme == testbed.SchemeBypassProt
+
+	drivers := make([]*netstack.BypassDriver, cfg.Rings)
+	var setupErr error
+	for ring := 0; ring < cfg.Rings; ring++ {
+		d := netstack.NewBypassDriver(ma.Kernel, ma.NIC, ring, testbed.BypassDeviceID, prot)
+		drivers[ring] = d
+		d.Core().Submit(false, func(t *sim.Task) {
+			if err := d.Setup(t); err != nil && setupErr == nil {
+				setupErr = err
+			}
+		})
+	}
+	ma.Sim.Run(ma.Sim.Now())
+	if setupErr != nil {
+		return BypassResult{}, setupErr
+	}
+	for _, d := range drivers {
+		d.Start()
+	}
+	defer func() {
+		for _, d := range drivers {
+			d.Stop()
+		}
+	}()
+
+	busyAll := func() sim.Time {
+		var b sim.Time
+		for _, c := range ma.Cores {
+			b += c.Busy()
+		}
+		return b
+	}
+
+	// Idle window: the poll loops spin against an empty used ring.
+	idle0 := busyAll()
+	tIdle := ma.Sim.Now()
+	ma.Sim.Run(tIdle + cfg.IdleWindow)
+	idleBurn := (busyAll() - idle0).Seconds() / cfg.IdleWindow.Seconds()
+
+	// One steered line-rate flow per ring, ports round-robined.
+	var gens []*Generator
+	for ring := 0; ring < cfg.Rings; ring++ {
+		g, err := NewGenerator(ma, ring%ma.Model.NICPorts, ring, ring+1, ma.Model.SegmentSize)
+		if err != nil {
+			return BypassResult{}, err
+		}
+		gens = append(gens, g)
+	}
+	for _, g := range gens {
+		g.Start()
+	}
+	defer func() {
+		for _, g := range gens {
+			g.Stop()
+		}
+	}()
+
+	ma.Sim.Run(ma.Sim.Now() + cfg.Warmup)
+	var bytes0 uint64
+	for _, d := range drivers {
+		bytes0 += d.Bytes
+	}
+	busy0 := busyAll()
+	mem0 := ma.MemBW.Used()
+	t0 := ma.Sim.Now()
+
+	ma.Sim.Run(t0 + cfg.Duration)
+
+	dt := (ma.Sim.Now() - t0).Seconds()
+	var bytes uint64
+	res := BypassResult{Scheme: ma.SchemeName(), IdleBurnCores: idleBurn}
+	for _, d := range drivers {
+		bytes += d.Bytes
+		res.Polls += d.Polls
+		res.Harvested += d.Harvested
+		res.Doorbells += d.Doorbells
+		res.PublishFaults += d.Virtqueue().PublishFaults
+	}
+	bytes -= bytes0
+	busy := busyAll() - busy0
+	res.RXGbps = float64(bytes) * 8 / dt / 1e9
+	res.CPUUtil = busy.Seconds() / (dt * float64(len(ma.Cores)))
+	if bytes > 0 {
+		res.CPUPerMBus = busy.Seconds() * 1e6 / (float64(bytes) / 1e6)
+	}
+	res.MemBWGBps = (ma.MemBW.Used() - mem0) / dt / 1e9
+	return res, nil
+}
